@@ -1,0 +1,149 @@
+// Ablations over RNA's design knobs (beyond the paper's reported sweeps):
+//   * probe count q in the threaded runtime (complementing Fig. 10's DES)
+//   * staleness bound η (how much cross-iteration buffering helps/hurts)
+//   * local gradient combine policy (§3.3 weighted average vs §6 sum-like
+//     mean vs latest-only)
+//   * Linear-Scaling-Rule LR vs constant LR under partial participation
+//   * trigger policy family: probe (RNA) vs majority (eager) vs solo vs full
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rna;
+using namespace rna::benchutil;
+
+namespace {
+
+constexpr std::size_t kWorld = 6;
+
+train::TrainResult RunWith(const NamedScenario& scenario,
+                           const train::TrainerConfig& config) {
+  return core::RunTraining(config, scenario.factory, scenario.train,
+                           scenario.val);
+}
+
+void AblateProbeChoices(const NamedScenario& scenario) {
+  std::printf("\n--- probe choices q (threaded runtime) ---\n");
+  std::printf("%-4s %14s %12s %14s\n", "q", "ms/round", "final acc",
+              "contrib/round");
+  for (std::size_t q : {1u, 2u, 3u, 6u}) {
+    train::TrainerConfig c =
+        BaseBenchConfig(train::Protocol::kRna, scenario, kWorld);
+    c.delay_model = DynamicDelays(kWorld);
+    c.target_loss = -1.0;
+    c.max_rounds = 400;
+    c.probe_choices = q;
+    const auto r = RunWith(scenario, c);
+    std::printf("%-4zu %14.2f %11.1f%% %14.2f\n", q,
+                r.MeanRoundTime() * 1e3, r.final_accuracy * 100.0,
+                r.MeanContributors());
+    std::fflush(stdout);
+  }
+}
+
+void AblateStaleness(const NamedScenario& scenario) {
+  std::printf("\n--- staleness bound η ---\n");
+  std::printf("%-4s %12s %12s %12s\n", "η", "final acc", "grads", "dropped");
+  for (std::size_t bound : {1u, 2u, 4u, 8u}) {
+    train::TrainerConfig c =
+        BaseBenchConfig(train::Protocol::kRna, scenario, kWorld);
+    c.delay_model = DynamicDelays(kWorld);
+    c.target_loss = -1.0;
+    c.max_rounds = 400;
+    c.staleness_bound = bound;
+    const auto r = RunWith(scenario, c);
+    std::printf("%-4zu %11.1f%% %12zu %12zu\n", bound,
+                r.final_accuracy * 100.0, r.gradients_applied,
+                r.gradients_dropped);
+    std::fflush(stdout);
+  }
+}
+
+void AblateCombine(const NamedScenario& scenario) {
+  std::printf("\n--- local combine policy ---\n");
+  const struct {
+    train::LocalCombine combine;
+    const char* name;
+  } rows[] = {{train::LocalCombine::kWeightedAverage, "weighted-avg"},
+              {train::LocalCombine::kMean, "mean"},
+              {train::LocalCombine::kLatest, "latest-only"}};
+  std::printf("%-14s %12s %12s\n", "policy", "final acc", "final loss");
+  for (const auto& row : rows) {
+    train::TrainerConfig c =
+        BaseBenchConfig(train::Protocol::kRna, scenario, kWorld);
+    c.delay_model = DynamicDelays(kWorld);
+    c.target_loss = -1.0;
+    c.max_rounds = 400;
+    c.combine = row.combine;
+    const auto r = RunWith(scenario, c);
+    std::printf("%-14s %11.1f%% %12.3f\n", row.name,
+                r.final_accuracy * 100.0, r.final_loss);
+    std::fflush(stdout);
+  }
+}
+
+void AblateLrPolicy(const NamedScenario& scenario) {
+  std::printf("\n--- learning-rate policy under partial participation ---\n");
+  const struct {
+    train::LrScalePolicy policy;
+    const char* name;
+  } rows[] = {{train::LrScalePolicy::kLinear, "linear-scaling"},
+              {train::LrScalePolicy::kConstant, "constant"}};
+  std::printf("%-16s %12s %12s\n", "policy", "final acc", "final loss");
+  for (const auto& row : rows) {
+    train::TrainerConfig c =
+        BaseBenchConfig(train::Protocol::kRna, scenario, kWorld);
+    c.delay_model = DynamicDelays(kWorld);
+    c.target_loss = -1.0;
+    c.max_rounds = 400;
+    c.lr_policy = row.policy;
+    const auto r = RunWith(scenario, c);
+    std::printf("%-16s %11.1f%% %12.3f\n", row.name,
+                r.final_accuracy * 100.0, r.final_loss);
+    std::fflush(stdout);
+  }
+}
+
+void AblateTriggerFamily(const NamedScenario& scenario) {
+  std::printf("\n--- trigger policy family (same engine) ---\n");
+  struct Row {
+    const char* name;
+    train::TriggerPolicyFactory factory;
+  };
+  const Row rows[] = {
+      {"probe-2 (RNA)", [] { return core::MakeProbePolicy(2); }},
+      {"majority(eager)", [] { return train::MakeMajorityPolicy(); }},
+      {"solo", [] { return train::MakeSoloPolicy(); }},
+      {"full (BSP-ish)", [] { return train::MakeFullPolicy(); }},
+  };
+  std::printf("%-16s %12s %12s %14s\n", "trigger", "ms/round", "final acc",
+              "contrib/round");
+  for (const auto& row : rows) {
+    train::TrainerConfig c =
+        BaseBenchConfig(train::Protocol::kRna, scenario, kWorld);
+    c.delay_model = DynamicDelays(kWorld);
+    c.target_loss = -1.0;
+    c.max_rounds = 400;
+    const auto r = train::RunPartialCollective(
+        c, scenario.factory, scenario.train, scenario.val, row.factory);
+    std::printf("%-16s %12.2f %11.1f%% %14.2f\n", row.name,
+                r.MeanRoundTime() * 1e3, r.final_accuracy * 100.0,
+                r.MeanContributors());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== RNA design ablations (%zu workers, dynamic "
+              "heterogeneity) ===\n", kWorld);
+  NamedScenario scenario = MakeResnetProxy();
+  AblateProbeChoices(scenario);
+  AblateStaleness(scenario);
+  AblateCombine(scenario);
+  AblateLrPolicy(scenario);
+  AblateTriggerFamily(scenario);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 3 — blocking vs non-blocking AllReduce, made concrete on the real
+// threaded runtime: three workers, one persistently slow. Under BSP every
+// round includes all three workers (and waits for the slowest); under RNA
+// rounds trigger early and the slow worker contributes null or catches up
+// with accumulated gradients in a later round.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rna;
+using namespace rna::benchutil;
+
+namespace {
+
+void Run(train::Protocol protocol, const char* label) {
+  NamedScenario scenario = MakeResnetProxy();
+  train::TrainerConfig config = BaseBenchConfig(protocol, scenario, 3);
+  config.max_rounds = 24;
+  config.target_loss = -1.0;
+  // Worker C (rank 2) is the straggler: 3 ms extra on a 1.5 ms base.
+  config.delay_model = std::make_shared<sim::DeterministicSkewModel>(
+      0.0015, std::vector<double>{0.0, 0.0005, 0.0030});
+
+  const train::TrainResult r = RunProtocol(protocol, scenario, config);
+  std::printf("\n--- %s: %zu rounds in %.1f ms (%.2f ms/round) ---\n", label,
+              r.rounds, r.wall_seconds * 1e3, r.MeanRoundTime() * 1e3);
+  std::printf("round:contributors  ");
+  for (std::size_t i = 0; i < r.round_contributors.size(); ++i) {
+    std::printf("%zu:%zu ", i + 1, r.round_contributors[i]);
+  }
+  std::printf("\nmean contributors/round: %.2f of 3; gradients applied: %zu; "
+              "overwritten by staleness bound: %zu\n",
+              r.MeanContributors(), r.gradients_applied, r.gradients_dropped);
+  std::printf("per-worker mini-batches computed:");
+  for (const auto& b : r.breakdown) std::printf(" %zu", b.iterations);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: blocking vs non-blocking AllReduce timeline "
+              "(3 workers, rank 2 slowed) ===\n");
+  Run(train::Protocol::kHorovod, "Blocking AllReduce (BSP / Horovod)");
+  Run(train::Protocol::kRna, "Non-blocking AllReduce (RNA)");
+  std::printf("\nExpected shape: BSP rounds always show 3/3 contributors but "
+              "pace at the straggler;\nRNA rounds pace at the probed fast "
+              "workers with <3 contributors on average.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks for the communication substrate: fabric
+// point-to-point latency, ring allreduce and partial allreduce cost across
+// world sizes, and PS push/pull round trips.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "rna/collectives/ring.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/ps/server.hpp"
+
+using namespace rna;
+
+namespace {
+
+void BM_FabricPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  net::Fabric fabric(2);
+  std::thread echo([&] {
+    while (auto msg = fabric.Recv(1, 1)) {
+      if (msg->meta.size() == 1 && msg->meta[0] < 0) break;
+      net::Message reply;
+      reply.tag = 2;
+      reply.data = std::move(msg->data);
+      fabric.Send(1, 0, std::move(reply));
+    }
+  });
+  std::vector<float> payload(bytes / sizeof(float), 1.0f);
+  for (auto _ : state) {
+    net::Message msg;
+    msg.tag = 1;
+    msg.data = payload;
+    fabric.Send(0, 1, std::move(msg));
+    auto reply = fabric.Recv(0, 2);
+    benchmark::DoNotOptimize(reply->data.data());
+  }
+  net::Message stop;
+  stop.tag = 1;
+  stop.meta = {-1};
+  fabric.Send(0, 1, std::move(stop));
+  echo.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes) * 2);
+}
+BENCHMARK(BM_FabricPingPong)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void RunAllreduceRounds(std::size_t world, std::size_t elements,
+                        std::size_t rounds, bool partial) {
+  net::Fabric fabric(world);
+  const collectives::Group group = collectives::Group::Full(world);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> data(elements, 1.0f);
+      for (std::size_t round = 0; round < rounds; ++round) {
+        const int tag = 1000 + static_cast<int>(round % 2) * 4096;
+        if (partial) {
+          collectives::RingPartialAllreduce(fabric, group, r, data,
+                                            /*contributes=*/r % 2 == 0, tag);
+        } else {
+          collectives::RingAllreduce(fabric, group, r, data, tag);
+          for (auto& x : data) x = 1.0f;  // keep values bounded
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const auto world = static_cast<std::size_t>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    RunAllreduceRounds(world, elements, 8, /*partial=*/false);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_RingAllreduce)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_RingPartialAllreduce(benchmark::State& state) {
+  const auto world = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RunAllreduceRounds(world, 1 << 14, 8, /*partial=*/true);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_RingPartialAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PsPushPull(benchmark::State& state) {
+  const auto elements = static_cast<std::size_t>(state.range(0));
+  net::Fabric fabric(2);
+  ps::ParameterServer server(fabric, 1,
+                             std::vector<float>(elements, 0.0f));
+  server.Start();
+  ps::PsClient client(fabric, 0, 1);
+  const std::vector<float> payload(elements, 1.0f);
+  for (auto _ : state) {
+    auto result = client.PushPull(payload, ps::ApplyMode::kAverage);
+    benchmark::DoNotOptimize(result.data());
+  }
+  server.Stop();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elements * sizeof(float)) *
+                          2);
+}
+BENCHMARK(BM_PsPushPull)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// google-benchmark microbenchmarks for the compute kernels underlying the
+// training substrate: matmul variants, LSTM step cost vs sequence length
+// (the physical basis of Figure 2's imbalance), attention cost vs length.
+
+#include <benchmark/benchmark.h>
+
+#include "rna/common/rng.hpp"
+#include "rna/nn/attention.hpp"
+#include "rna/nn/lstm.hpp"
+#include "rna/tensor/ops.hpp"
+
+using namespace rna;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& x : a.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+  for (auto& x : b.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+  for (auto _ : state) {
+    tensor::MatMul(a, b, c);
+    benchmark::DoNotOptimize(c.Data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n, 1.0f), y(n, 2.0f);
+  for (auto _ : state) {
+    tensor::Axpy(0.5f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float) * 2));
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// LSTM forward+backward cost as a function of sequence length — linear,
+/// which is exactly the inherent-imbalance mechanism of Figure 2(b).
+void BM_LstmSequence(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(2);
+  nn::LstmLayer lstm(8, 32, rng);
+  tensor::Tensor x({len, 8});
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  tensor::Tensor dh({1, 32});
+  dh.Fill(0.01f);
+  for (auto _ : state) {
+    tensor::Tensor h = lstm.Forward(x);
+    benchmark::DoNotOptimize(h.Data());
+    tensor::Tensor dx = lstm.Backward(dh);
+    benchmark::DoNotOptimize(dx.Data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_LstmSequence)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+/// Attention cost vs length — quadratic (the Transformer imbalance).
+void BM_AttentionSequence(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(3);
+  nn::AttentionBlock attention(8, 24, rng);
+  tensor::Tensor x({len, 8});
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  tensor::Tensor dy({len, 24});
+  dy.Fill(0.01f);
+  for (auto _ : state) {
+    tensor::Tensor y = attention.Forward(x);
+    benchmark::DoNotOptimize(y.Data());
+    tensor::Tensor dx = attention.Backward(dy);
+    benchmark::DoNotOptimize(dx.Data());
+  }
+}
+BENCHMARK(BM_AttentionSequence)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

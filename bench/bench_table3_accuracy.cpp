@@ -1,0 +1,86 @@
+// Table 3 — final training accuracy per approach per workload, with the
+// "(H)" columns denoting the mixed-heterogeneity cluster. Runs every
+// protocol for a fixed round budget and reports the accuracy of the final
+// model on the training distribution.
+//
+// Paper shapes: Horovod / eager-SGD / RNA land within ~1–2 points of each
+// other; AD-PSGD trails by a wide margin (stale gossip averaging).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rna/train/monitor.hpp"
+
+using namespace rna;
+using namespace rna::benchutil;
+
+namespace {
+
+constexpr std::size_t kWorld = 6;
+
+double FinalTrainAccuracy(train::Protocol protocol,
+                          const NamedScenario& scenario,
+                          const std::shared_ptr<const sim::IterationTimeModel>&
+                              delays,
+                          std::size_t rounds) {
+  train::TrainerConfig config = BaseBenchConfig(protocol, scenario, kWorld);
+  config.delay_model = delays;
+  config.target_loss = -1.0;   // fixed budget, like the paper's fixed epochs
+  config.max_rounds = rounds;
+  const train::TrainResult r = RunProtocol(protocol, scenario, config);
+  // Table 3 reports accuracy at training termination; evaluate the final
+  // model on held-out data drawn from the training distribution.
+  return r.final_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: final training accuracy (%zu workers, fixed "
+              "round budget) ===\n", kWorld);
+
+  NamedScenario resnet = MakeResnetProxy();
+  NamedScenario vgg = MakeVggProxy();
+  NamedScenario lstm = MakeLstmProxy();
+
+  struct Column {
+    const char* name;
+    NamedScenario* scenario;
+    std::shared_ptr<const sim::IterationTimeModel> delays;
+    std::size_t rounds;
+  };
+  Column columns[] = {
+      {"ResNet", &resnet, DynamicDelays(kWorld), 700},
+      {"ResNet(H)", &resnet, MixedDelays(kWorld), 700},
+      {"VGG", &vgg, DynamicDelays(kWorld), 700},
+      {"VGG(H)", &vgg, MixedDelays(kWorld), 700},
+      {"LSTM", &lstm, nullptr, 500},  // inherent imbalance only
+  };
+  const struct {
+    train::Protocol protocol;
+    const char* name;
+  } rows[] = {
+      {train::Protocol::kHorovod, "horovod"},
+      {train::Protocol::kEagerSgd, "eager-sgd"},
+      {train::Protocol::kAdPsgd, "ad-psgd"},
+      {train::Protocol::kRna, "rna"},
+  };
+
+  std::printf("%-10s", "approach");
+  for (const auto& c : columns) std::printf(" %10s", c.name);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-10s", row.name);
+    for (const auto& c : columns) {
+      const double acc = FinalTrainAccuracy(row.protocol, *c.scenario,
+                                            c.delays, c.rounds);
+      std::printf(" %9.1f%%", acc * 100.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper reference (Table 3): Horovod 78/79/93.4/93.2/88.2, "
+              "eager-SGD ~1pt lower,\nAD-PSGD 5-10pts lower, RNA within "
+              "~1pt of Horovod.\n");
+  return 0;
+}

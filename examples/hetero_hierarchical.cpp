@@ -1,0 +1,70 @@
+// Hierarchical synchronization on a deterministically heterogeneous
+// cluster (paper §4): half the machines are consistently ~3x slower
+// (think K80s next to 2080 Tis). The example shows
+//   * the ζ>v grouping rule applied to calibrated iteration times,
+//   * flat RNA vs hierarchical RNA (per-group rings + asynchronous PS
+//     averaging) on that cluster.
+
+#include <cstdio>
+#include <memory>
+
+#include "rna/core/rna.hpp"
+#include "rna/data/generators.hpp"
+
+int main() {
+  using namespace rna;
+
+  // Show the grouping rule on explicit iteration times first.
+  const std::vector<double> measured = {0.0012, 0.0013, 0.0012,
+                                        0.0036, 0.0038, 0.0035};
+  const auto groups = core::ComputeSpeedGroups(measured);
+  std::printf("calibrated iteration times (ms):");
+  for (double t : measured) std::printf(" %.1f", t * 1e3);
+  std::printf("\nzeta>v grouping:");
+  for (auto g : groups) std::printf(" g%zu", g);
+  std::printf("  (fast machines and slow machines end up in separate "
+              "rings)\n\n");
+
+  data::Dataset all = data::MakeGaussianClusters(4000, 12, 6, 0.7, 3);
+  auto [train_data, val_data] = all.SplitHoldout(0.2);
+  train::ModelFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{12, 48, 6}, seed);
+  };
+
+  train::TrainerConfig config;
+  config.world = 6;
+  config.batch_size = 16;
+  config.sgd.learning_rate = 0.1;
+  config.sgd.momentum = 0.5;
+  config.target_loss = 0.8;
+  config.max_rounds = 4000;
+  config.eval_period_s = 0.01;
+  config.eval_samples = 96;
+  // Deterministic 3x tier difference plus mild jitter.
+  config.delay_model = std::make_shared<sim::MixedGroupModel>(
+      0.0012, 0.0005, 0.0020, 0.0028,
+      std::vector<bool>{false, false, false, true, true, true});
+  config.calibration_iters = 8;
+
+  for (auto protocol :
+       {train::Protocol::kHorovod, train::Protocol::kRna,
+        train::Protocol::kRnaHierarchical}) {
+    config.protocol = protocol;
+    const train::TrainResult result =
+        core::RunTraining(config, factory, train_data, val_data);
+    std::printf("%-8s time-to-loss %.2f: %6.2f s  rounds=%4zu  "
+                "val acc %.1f%%  contributors/round %.2f\n",
+                train::ProtocolName(protocol), config.target_loss,
+                result.wall_seconds, result.rounds,
+                result.final_accuracy * 100.0, result.MeanContributors());
+  }
+  std::printf(
+      "\nHierarchical RNA keeps each ring speed-homogeneous and merges group "
+      "models through the PS\nasynchronously. On this scaled-down cluster "
+      "flat RNA's cross-iteration buffering already\nabsorbs the "
+      "deterministic slowdown, so the hierarchy mostly pays its PS overhead "
+      "— its\nadvantage grows with the tier spread and the cluster size "
+      "(see bench_fig6_speedup's (M)\ncolumns and EXPERIMENTS.md).\n");
+  return 0;
+}

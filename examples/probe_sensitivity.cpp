@@ -1,0 +1,33 @@
+// The power-of-two-choices initiator election in isolation (paper §3.2,
+// §8.4): on a 100-node simulated cluster with skewed task durations, sweep
+// the number of probes and print the response-time distribution — the
+// textual version of Figure 10's box plot.
+
+#include <cstdio>
+
+#include "rna/common/stats.hpp"
+#include "rna/sim/protocols.hpp"
+
+int main() {
+  using namespace rna;
+
+  std::printf("100 nodes, heavy-tailed task durations (mean 30 ms), 100 "
+              "rounds per configuration, 0.8 ms per probe RPC\n\n");
+  const sim::LongTailModel tasks = sim::ProbeBenchmarkTasks();
+  std::printf("%-8s %9s %9s %9s  %s\n", "choices", "p25(ms)", "med(ms)",
+              "p75(ms)", "box");
+  for (std::size_t q = 1; q <= 8; ++q) {
+    const auto responses =
+        sim::ProbeResponseTimes(100, q, 100, tasks, 0.0008, 21);
+    const auto s = common::Summarize(responses);
+    std::printf("%-8zu %9.1f %9.1f %9.1f  ", q, s.p25 * 1e3, s.median * 1e3,
+                s.p75 * 1e3);
+    const int bar = static_cast<int>(s.median * 1e3);
+    for (int i = 0; i < bar && i < 60; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf("\nOne extra probe buys most of the improvement; additional "
+              "probes mostly add RPC overhead\n— which is why RNA ships "
+              "with q = 2.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "rna/baselines/baselines.hpp"
+#include "rna/common/check.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/tensor/ops.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/stage.hpp"
+#include "rna/train/tags.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::baselines {
+
+using namespace rna::train;
+
+// AD-PSGD (Lian et al.): every worker loops independently —
+//   x ← model; g ← ∇f(x; ξ)                       (compute)
+//   atomically average own model with one random peer's (gossip)
+//   x ← averaged − γ·g                            (local update)
+// The pairwise average is made atomic by the passive side: a responder
+// thread folds the requester's parameters into its own under the model
+// lock and replies with the averaged vector, so both sides end the
+// exchange with identical models. The requester blocks for the reply —
+// this serialization is the "significant synchronization overhead to
+// ensure atomicity" the paper attributes to AD-PSGD (§1). One-sided
+// request/response cannot deadlock: responders never initiate.
+TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
+                      const data::Dataset& train_data,
+                      const data::Dataset& val_data) {
+  const std::size_t world = config.world;
+  RNA_CHECK_MSG(world >= 2, "AD-PSGD needs at least two workers");
+  net::Fabric fabric(world);
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  const std::vector<float> init = InitialParams(config, factory);
+
+  ParamBoard board(init);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> gradients{0};
+  std::atomic<std::size_t> workers_running{world};
+
+  EvalMonitor monitor(config, factory, val_data);
+  monitor.Start(board, stop, rounds_done);
+
+  // Each worker's model, guarded by its own mutex (the AD-PSGD atomicity
+  // lock).
+  std::vector<std::vector<float>> models(world, init);
+  std::vector<std::mutex> model_mu(world);
+  std::vector<WorkerTimeBreakdown> wait_comm(world);
+
+  const common::Stopwatch wall;
+
+  // Responder threads: serve pairwise-average requests until every active
+  // worker has finished (an active requester is never left hanging).
+  std::vector<std::thread> responders;
+  responders.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    responders.emplace_back([&, w] {
+      while (workers_running.load() > 0) {
+        auto req = fabric.RecvFor(w, tags::kAvgReq, 0.002);
+        if (!req.has_value()) continue;
+        net::Message reply;
+        reply.tag = tags::kAvgRep;
+        {
+          std::scoped_lock lock(model_mu[w]);
+          RNA_CHECK(req->data.size() == dim);
+          auto& mine = models[w];
+          for (std::size_t i = 0; i < dim; ++i) {
+            mine[i] = 0.5f * (mine[i] + req->data[i]);
+          }
+          reply.data = mine;
+        }
+        fabric.Send(w, req->src, std::move(reply));
+      }
+    });
+  }
+
+  std::vector<std::thread> trainers;
+  trainers.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    trainers.emplace_back([&, w] {
+      common::Rng rng(config.seed + 7000 + 13 * w);
+      std::vector<float> grad(dim);
+      std::vector<float> local(dim);
+      // AD-PSGD uses plain SGD on the averaged model; momentum state would
+      // not be consistent across gossip exchanges.
+      const auto lr = static_cast<float>(config.sgd.learning_rate);
+
+      for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
+           ++iter) {
+        {
+          std::scoped_lock lock(model_mu[w]);
+          local = models[w];
+        }
+        workers[w]->ComputeGradient(local, grad);
+
+        // Gossip: send my current model, receive the pairwise average.
+        std::size_t peer = rng.UniformInt(world - 1);
+        if (peer >= w) ++peer;
+        net::Message req;
+        req.tag = tags::kAvgReq;
+        {
+          std::scoped_lock lock(model_mu[w]);
+          req.data = models[w];
+        }
+        const common::Stopwatch wait_watch;
+        fabric.Send(w, peer, std::move(req));
+        auto rep = fabric.Recv(w, tags::kAvgRep);
+        if (!rep.has_value()) break;
+        wait_comm[w].comm += wait_watch.Elapsed();
+
+        {
+          std::scoped_lock lock(model_mu[w]);
+          auto& mine = models[w];
+          // Adopt the averaged model, then apply the local gradient.
+          for (std::size_t i = 0; i < dim; ++i) {
+            mine[i] = rep->data[i] - lr * grad[i];
+          }
+        }
+        gradients.fetch_add(1);
+        if (w == 0) {
+          board.Publish(models[0], static_cast<std::int64_t>(iter) + 1);
+          rounds_done.fetch_add(1);
+        }
+      }
+      workers_running.fetch_sub(1);
+    });
+  }
+
+  for (auto& t : trainers) t.join();
+  for (auto& t : responders) t.join();
+  const common::Seconds wall_s = wall.Elapsed();
+  monitor.Finish();
+
+  // The canonical AD-PSGD model is the average over all replicas.
+  std::vector<float> consensus(dim, 0.0f);
+  for (std::size_t w = 0; w < world; ++w) {
+    tensor::Axpy(1.0f / static_cast<float>(world), models[w], consensus);
+  }
+
+  TrainResult result;
+  result.wall_seconds = wall_s;
+  result.rounds = rounds_done.load();
+  result.gradients_applied = gradients.load();
+  result.reached_target = monitor.ReachedTarget();
+  result.early_stopped = monitor.EarlyStopped();
+  result.curve = monitor.Curve();
+  result.breakdown.resize(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    result.breakdown[w] = workers[w]->Times();
+    result.breakdown[w].wait = wait_comm[w].wait;
+    result.breakdown[w].comm = wait_comm[w].comm;
+  }
+  result.final_params = consensus;
+  const nn::BatchResult final_eval = monitor.FullEval(consensus);
+  result.final_loss = final_eval.loss;
+  result.final_accuracy = final_eval.Accuracy();
+  result.final_train_loss =
+      EvaluateDataset(workers[0]->Net(), consensus, train_data, 2048).loss;
+  return result;
+}
+
+}  // namespace rna::baselines

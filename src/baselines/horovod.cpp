@@ -1,0 +1,119 @@
+#include <atomic>
+#include <thread>
+
+#include "rna/baselines/baselines.hpp"
+#include "rna/collectives/ring.hpp"
+#include "rna/common/check.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/stage.hpp"
+#include "rna/train/tags.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::baselines {
+
+using namespace rna::train;
+
+// Horovod-style BSP: each round is
+//   compute → negotiation barrier (all workers announce readiness)
+//           → blocking ring allreduce → identical optimizer step.
+// The stop decision must be collective (a worker leaving the ring alone
+// would deadlock it), so each worker contributes a stop vote as one extra
+// element of the allreduce payload; everyone observes the same vote sum and
+// exits the same round.
+TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
+                       const data::Dataset& train_data,
+                       const data::Dataset& val_data) {
+  const std::size_t world = config.world;
+  net::Fabric fabric(world);
+  const collectives::Group group = collectives::Group::Full(world);
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  const std::vector<float> init = InitialParams(config, factory);
+
+  ParamBoard board(init);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> gradients{0};
+
+  EvalMonitor monitor(config, factory, val_data);
+  monitor.Start(board, stop, rounds_done);
+
+  std::vector<WorkerTimeBreakdown> wait_comm(world);
+  std::vector<std::vector<float>> final_params(world);
+  const common::Stopwatch wall;
+
+  std::vector<std::thread> threads;
+  threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<float> params = init;
+      std::vector<float> buffer(dim + 1);  // gradient ‖ stop vote
+      nn::SgdMomentum& optimizer = workers[w]->Optimizer();
+
+      for (std::size_t round = 0; round < config.max_rounds; ++round) {
+        for (std::size_t milestone : config.lr_decay_rounds) {
+          if (milestone == round) {
+            optimizer.DecayLearningRate(config.lr_decay_factor);
+          }
+        }
+        workers[w]->ComputeGradient(params,
+                                    std::span<float>(buffer.data(), dim));
+        buffer[dim] = stop.load() ? 1.0f : 0.0f;
+
+        // NEGOTIATE_ALLREDUCE: nobody enters the collective until every
+        // worker has announced its tensors — the BSP barrier whose cost
+        // Figure 1 decomposes.
+        const common::Stopwatch wait_watch;
+        collectives::Barrier(fabric, group, w, tags::BarrierTag(round));
+        wait_comm[w].wait += wait_watch.Elapsed();
+
+        const common::Stopwatch comm_watch;
+        collectives::RingAllreduce(fabric, group, w, buffer,
+                                   tags::RingTag(round));
+        wait_comm[w].comm += comm_watch.Elapsed();
+
+        const float inv_world = 1.0f / static_cast<float>(world);
+        for (std::size_t i = 0; i < dim; ++i) buffer[i] *= inv_world;
+        optimizer.Step(params, std::span<const float>(buffer.data(), dim));
+
+        if (w == 0) {
+          board.Publish(params, static_cast<std::int64_t>(round) + 1);
+          rounds_done.fetch_add(1);
+          gradients.fetch_add(world);
+        }
+        if (buffer[dim] > 0.5f) break;  // unanimous, collective exit
+      }
+      final_params[w] = std::move(params);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const common::Seconds wall_s = wall.Elapsed();
+  monitor.Finish();
+
+  TrainResult result;
+  result.wall_seconds = wall_s;
+  result.rounds = rounds_done.load();
+  result.gradients_applied = gradients.load();
+  result.reached_target = monitor.ReachedTarget();
+  result.early_stopped = monitor.EarlyStopped();
+  result.curve = monitor.Curve();
+  result.round_contributors.assign(result.rounds, world);  // BSP: everyone
+  result.breakdown.resize(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    result.breakdown[w] = workers[w]->Times();
+    result.breakdown[w].wait = wait_comm[w].wait;
+    result.breakdown[w].comm = wait_comm[w].comm;
+  }
+  result.final_params = final_params[0];
+  const nn::BatchResult final_eval = monitor.FullEval(final_params[0]);
+  result.final_loss = final_eval.loss;
+  result.final_accuracy = final_eval.Accuracy();
+  result.final_train_loss =
+      EvaluateDataset(workers[0]->Net(), final_params[0], train_data, 2048)
+          .loss;
+  return result;
+}
+
+}  // namespace rna::baselines

@@ -1,0 +1,105 @@
+#include <atomic>
+#include <thread>
+
+#include "rna/baselines/baselines.hpp"
+#include "rna/common/check.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/ps/server.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/stage.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::baselines {
+
+using namespace rna::train;
+
+// The centralized algorithm of §2.2 in its asynchronous form (Downpour-
+// style): every worker loops { pull model → compute gradient → push an SGD
+// delta }, the server folds deltas in arrival order. There is no barrier,
+// so stragglers never block anyone — but all N workers funnel through one
+// server endpoint, the communication hotspot that motivates decentralized
+// training in the first place.
+TrainResult RunCentralizedPs(const TrainerConfig& config,
+                             const ModelFactory& factory,
+                             const data::Dataset& train_data,
+                             const data::Dataset& val_data) {
+  const std::size_t world = config.world;
+  RNA_CHECK_MSG(world >= 1, "need at least one worker");
+  const net::Rank server_rank = world;
+  net::Fabric fabric(world + 1);
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  const std::vector<float> init = InitialParams(config, factory);
+
+  ps::ParameterServer server(fabric, server_rank, init);
+  server.Start();
+
+  ParamBoard board(init);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> gradients{0};
+
+  EvalMonitor monitor(config, factory, val_data);
+  monitor.Start(board, stop, rounds_done);
+
+  std::vector<WorkerTimeBreakdown> wait_comm(world);
+  const common::Stopwatch wall;
+
+  std::vector<std::thread> threads;
+  threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    threads.emplace_back([&, w] {
+      ps::PsClient client(fabric, w, server_rank);
+      std::vector<float> params = init;
+      std::vector<float> grad(dim);
+      std::vector<float> delta(dim);
+      const auto lr = static_cast<float>(config.sgd.learning_rate);
+
+      for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
+           ++iter) {
+        workers[w]->ComputeGradient(params, grad);
+        // Push the SGD delta and pull the freshest model in one round trip
+        // (the PS applies requests atomically in arrival order).
+        const auto scale = lr / static_cast<float>(world);
+        for (std::size_t i = 0; i < dim; ++i) delta[i] = -scale * grad[i];
+        const common::Stopwatch comm_watch;
+        params = client.PushPull(delta, ps::ApplyMode::kAddDelta);
+        wait_comm[w].comm += comm_watch.Elapsed();
+        gradients.fetch_add(1);
+        if (w == 0) {
+          board.Publish(params, static_cast<std::int64_t>(iter) + 1);
+          rounds_done.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const common::Seconds wall_s = wall.Elapsed();
+  monitor.Finish();
+
+  const std::vector<float> final_params = server.Snapshot();
+  server.Stop();
+
+  TrainResult result;
+  result.wall_seconds = wall_s;
+  result.rounds = rounds_done.load();
+  result.gradients_applied = gradients.load();
+  result.reached_target = monitor.ReachedTarget();
+  result.early_stopped = monitor.EarlyStopped();
+  result.curve = monitor.Curve();
+  result.breakdown.resize(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    result.breakdown[w] = workers[w]->Times();
+    result.breakdown[w].comm = wait_comm[w].comm;
+  }
+  result.final_params = final_params;
+  const nn::BatchResult final_eval = monitor.FullEval(final_params);
+  result.final_loss = final_eval.loss;
+  result.final_accuracy = final_eval.Accuracy();
+  result.final_train_loss =
+      EvaluateDataset(workers[0]->Net(), final_params, train_data, 2048).loss;
+  return result;
+}
+
+}  // namespace rna::baselines

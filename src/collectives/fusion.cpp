@@ -1,0 +1,78 @@
+#include "rna/collectives/fusion.hpp"
+
+#include <algorithm>
+
+#include "rna/common/check.hpp"
+
+namespace rna::collectives {
+
+std::size_t FusionPlan::MaxBucketElements() const {
+  std::size_t peak = 0;
+  for (const auto& b : buckets) peak = std::max(peak, b.elements);
+  return peak;
+}
+
+FusionPlan FusionPlan::Build(std::span<const TensorSpec> specs,
+                             std::size_t max_bucket_elements) {
+  RNA_CHECK_MSG(max_bucket_elements > 0, "bucket size must be positive");
+  FusionPlan plan;
+  Bucket current;
+  current.first_tensor = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::size_t n = specs[i].elements;
+    const bool fits =
+        current.tensor_count == 0 || current.elements + n <= max_bucket_elements;
+    if (!fits) {
+      plan.buckets.push_back(current);
+      current = Bucket{};
+      current.first_tensor = i;
+    }
+    current.elements += n;
+    ++current.tensor_count;
+  }
+  if (current.tensor_count > 0) plan.buckets.push_back(current);
+  return plan;
+}
+
+void FusedAllreduce(net::Fabric& fabric, const Group& group,
+                    std::size_t my_index, std::span<const TensorSpec> specs,
+                    std::span<float* const> tensors, const FusionPlan& plan,
+                    int tag_base) {
+  RNA_CHECK_MSG(specs.size() == tensors.size(),
+                "one buffer per tensor spec required");
+  // Each bucket's ring uses up to 2·world step tags; space the buckets out
+  // accordingly so concurrent in-flight messages cannot collide.
+  const int stride = static_cast<int>(2 * group.Size() + 2);
+
+  std::vector<float> staging(plan.MaxBucketElements());
+  for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
+    const auto& bucket = plan.buckets[b];
+    // Gather the bucket's tensors into the staging buffer.
+    std::size_t offset = 0;
+    for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+      const std::size_t idx = bucket.first_tensor + t;
+      RNA_CHECK(idx < specs.size());
+      std::copy(tensors[idx], tensors[idx] + specs[idx].elements,
+                staging.begin() + static_cast<std::ptrdiff_t>(offset));
+      offset += specs[idx].elements;
+    }
+    RNA_CHECK(offset == bucket.elements);
+
+    RingAllreduce(fabric, group, my_index,
+                  std::span<float>(staging.data(), bucket.elements),
+                  tag_base + static_cast<int>(b) * stride);
+
+    // Scatter the reduced values back.
+    offset = 0;
+    for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+      const std::size_t idx = bucket.first_tensor + t;
+      std::copy(staging.begin() + static_cast<std::ptrdiff_t>(offset),
+                staging.begin() +
+                    static_cast<std::ptrdiff_t>(offset + specs[idx].elements),
+                tensors[idx]);
+      offset += specs[idx].elements;
+    }
+  }
+}
+
+}  // namespace rna::collectives

@@ -1,0 +1,52 @@
+#pragma once
+
+// Tensor Fusion (the Horovod feature the paper enables for its baseline,
+// §7.3): deep-learning models expose many per-layer gradient tensors, and
+// reducing each one separately pays the per-collective latency α once per
+// tensor. Fusion packs consecutive tensors into buckets of bounded size and
+// runs one ring allreduce per bucket, amortizing α while keeping peak
+// staging memory bounded — the classic throughput/latency/memory knob.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rna/collectives/ring.hpp"
+
+namespace rna::collectives {
+
+struct TensorSpec {
+  std::string name;
+  std::size_t elements = 0;
+};
+
+/// A partition of a tensor list into contiguous fusion buckets.
+struct FusionPlan {
+  struct Bucket {
+    std::size_t first_tensor = 0;  ///< index into the spec list
+    std::size_t tensor_count = 0;
+    std::size_t elements = 0;      ///< total elements in the bucket
+  };
+  std::vector<Bucket> buckets;
+
+  std::size_t BucketCount() const { return buckets.size(); }
+  std::size_t MaxBucketElements() const;
+
+  /// Greedy contiguous packing: tensors are appended to the current bucket
+  /// until adding the next one would exceed `max_bucket_elements`; a tensor
+  /// larger than the limit gets a bucket of its own. Preserves order.
+  static FusionPlan Build(std::span<const TensorSpec> specs,
+                          std::size_t max_bucket_elements);
+};
+
+/// Cooperative fused sum-allreduce: every group member calls it with the
+/// same specs/plan and its local per-tensor buffers. Each bucket is
+/// gathered into a staging buffer, ring-allreduced (bucket i uses
+/// tag_base + i·ring-width), and scattered back — so results are bitwise
+/// identical to reducing one concatenated buffer.
+void FusedAllreduce(net::Fabric& fabric, const Group& group,
+                    std::size_t my_index, std::span<const TensorSpec> specs,
+                    std::span<float* const> tensors, const FusionPlan& plan,
+                    int tag_base);
+
+}  // namespace rna::collectives

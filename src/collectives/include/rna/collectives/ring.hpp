@@ -1,0 +1,67 @@
+#pragma once
+
+// From-scratch ring collectives over the in-process fabric, built the way
+// the paper describes Ring AllReduce (§2.2): N−1 reduce-scatter steps, each
+// moving 1/N of the buffer to the left-to-right neighbor, then N−1
+// all-gather steps. These primitives are *cooperative*: every member of the
+// group must call the same operation with the same tag_base, exactly like an
+// MPI collective.
+//
+// `RingPartialAllreduce` is the partial-collective variant RNA is built on:
+// each rank declares whether it contributes a real gradient; a contributor
+// count rides along in the reduction, and the reduced sum is re-weighted by
+// W = 1/Σw on every rank (Algorithm 2 in the paper). Non-contributors pass
+// a null (zero) gradient, which preserves the communication graph.
+
+#include <span>
+#include <vector>
+
+#include "rna/net/fabric.hpp"
+
+namespace rna::collectives {
+
+using net::Rank;
+
+/// An ordered set of fabric endpoints forming one logical ring.
+/// For flat (non-hierarchical) training this is simply {0, 1, ..., N−1}.
+struct Group {
+  std::vector<Rank> members;
+
+  std::size_t Size() const { return members.size(); }
+  Rank At(std::size_t index) const { return members.at(index); }
+
+  /// Index of a fabric rank inside the group; throws if absent.
+  std::size_t IndexOf(Rank rank) const;
+
+  static Group Full(std::size_t world);
+};
+
+/// In-place sum-allreduce: after the call every member's `data` holds the
+/// elementwise sum across the group. `my_index` is this caller's position in
+/// the group. All members must pass equal-size buffers and the same
+/// tag_base; tag_base must not collide with other traffic in flight.
+void RingAllreduce(net::Fabric& fabric, const Group& group,
+                   std::size_t my_index, std::span<float> data, int tag_base);
+
+struct PartialResult {
+  /// Number of ranks that contributed a real gradient (Σw).
+  std::size_t contributors = 0;
+};
+
+/// Partial allreduce (Algorithm 2): ranks with `contributes == false` send a
+/// null gradient (their buffer is zeroed on entry). On exit every member's
+/// buffer holds (Σ contributed gradients) / Σw — the weighted average — or
+/// all zeros when nobody contributed.
+PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
+                                   std::size_t my_index, std::span<float> data,
+                                   bool contributes, int tag_base);
+
+/// Star broadcast from `root_index` to all other members.
+void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
+               std::size_t root_index, std::span<float> data, int tag_base);
+
+/// Full barrier over the group (gather-to-first + release).
+void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,
+             int tag_base);
+
+}  // namespace rna::collectives

@@ -1,0 +1,168 @@
+#include "rna/collectives/ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rna/common/check.hpp"
+
+namespace rna::collectives {
+
+namespace {
+
+/// Chunk boundaries dividing `n` elements into `parts` near-equal ranges.
+std::vector<std::size_t> ChunkOffsets(std::size_t n, std::size_t parts) {
+  std::vector<std::size_t> offsets(parts + 1);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    offsets[i] = pos;
+    pos += base + (i < extra ? 1 : 0);
+  }
+  offsets[parts] = n;
+  return offsets;
+}
+
+}  // namespace
+
+std::size_t Group::IndexOf(Rank rank) const {
+  const auto it = std::find(members.begin(), members.end(), rank);
+  RNA_CHECK_MSG(it != members.end(), "rank is not a member of the group");
+  return static_cast<std::size_t>(it - members.begin());
+}
+
+Group Group::Full(std::size_t world) {
+  Group g;
+  g.members.resize(world);
+  for (std::size_t i = 0; i < world; ++i) g.members[i] = i;
+  return g;
+}
+
+void RingAllreduce(net::Fabric& fabric, const Group& group,
+                   std::size_t my_index, std::span<float> data, int tag_base) {
+  const std::size_t world = group.Size();
+  RNA_CHECK_MSG(world > 0 && my_index < world, "bad group index");
+  if (world == 1) return;
+
+  const Rank self = group.At(my_index);
+  const Rank right = group.At((my_index + 1) % world);
+  const auto offsets = ChunkOffsets(data.size(), world);
+  auto chunk = [&](std::size_t c) {
+    return data.subspan(offsets[c], offsets[c + 1] - offsets[c]);
+  };
+
+  // Reduce-scatter: after world−1 steps this rank owns the fully reduced
+  // chunk (my_index + 1) mod world.
+  for (std::size_t step = 0; step + 1 < world; ++step) {
+    const std::size_t send_chunk = (my_index + world - step) % world;
+    const std::size_t recv_chunk = (my_index + 2 * world - step - 1) % world;
+    auto out = chunk(send_chunk);
+    net::Message msg;
+    msg.tag = tag_base + static_cast<int>(step);
+    msg.data.assign(out.begin(), out.end());
+    fabric.Send(self, right, std::move(msg));
+
+    auto in = fabric.Recv(self, tag_base + static_cast<int>(step));
+    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-collective");
+    auto target = chunk(recv_chunk);
+    RNA_CHECK_MSG(in->data.size() == target.size(),
+                  "collective chunk size mismatch");
+    for (std::size_t i = 0; i < target.size(); ++i) target[i] += in->data[i];
+  }
+
+  // All-gather: circulate the reduced chunks.
+  for (std::size_t step = 0; step + 1 < world; ++step) {
+    const std::size_t send_chunk = (my_index + 1 + world - step) % world;
+    const std::size_t recv_chunk = (my_index + 2 * world - step) % world;
+    auto out = chunk(send_chunk);
+    net::Message msg;
+    msg.tag = tag_base + static_cast<int>(world + step);
+    msg.data.assign(out.begin(), out.end());
+    fabric.Send(self, right, std::move(msg));
+
+    auto in = fabric.Recv(self, tag_base + static_cast<int>(world + step));
+    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-collective");
+    auto target = chunk(recv_chunk);
+    RNA_CHECK_MSG(in->data.size() == target.size(),
+                  "collective chunk size mismatch");
+    std::copy(in->data.begin(), in->data.end(), target.begin());
+  }
+}
+
+PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
+                                   std::size_t my_index, std::span<float> data,
+                                   bool contributes, int tag_base) {
+  // The contributor flag travels as one extra element appended to the
+  // payload, so a single ring pass reduces both gradient and Σw.
+  std::vector<float> buffer(data.size() + 1);
+  if (contributes) {
+    std::copy(data.begin(), data.end(), buffer.begin());
+    buffer.back() = 1.0f;
+  } else {
+    // Null gradient: keep the communication graph, contribute zeros.
+    buffer.back() = 0.0f;
+  }
+
+  RingAllreduce(fabric, group, my_index, buffer, tag_base);
+
+  PartialResult result;
+  result.contributors =
+      static_cast<std::size_t>(std::lround(buffer.back()));
+  if (result.contributors > 0) {
+    const float w = 1.0f / static_cast<float>(result.contributors);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = buffer[i] * w;
+  } else {
+    std::fill(data.begin(), data.end(), 0.0f);
+  }
+  return result;
+}
+
+void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
+               std::size_t root_index, std::span<float> data, int tag_base) {
+  const std::size_t world = group.Size();
+  RNA_CHECK_MSG(my_index < world && root_index < world, "bad group index");
+  if (world == 1) return;
+  const Rank self = group.At(my_index);
+  if (my_index == root_index) {
+    for (std::size_t i = 0; i < world; ++i) {
+      if (i == root_index) continue;
+      net::Message msg;
+      msg.tag = tag_base;
+      msg.data.assign(data.begin(), data.end());
+      fabric.Send(self, group.At(i), std::move(msg));
+    }
+  } else {
+    auto in = fabric.Recv(self, tag_base);
+    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-broadcast");
+    RNA_CHECK_MSG(in->data.size() == data.size(), "broadcast size mismatch");
+    std::copy(in->data.begin(), in->data.end(), data.begin());
+  }
+}
+
+void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,
+             int tag_base) {
+  const std::size_t world = group.Size();
+  RNA_CHECK_MSG(my_index < world, "bad group index");
+  if (world == 1) return;
+  const Rank self = group.At(my_index);
+  const Rank leader = group.At(0);
+  if (my_index == 0) {
+    for (std::size_t i = 1; i < world; ++i) {
+      auto in = fabric.Recv(self, tag_base);
+      RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-barrier");
+    }
+    for (std::size_t i = 1; i < world; ++i) {
+      net::Message release;
+      release.tag = tag_base + 1;
+      fabric.Send(self, group.At(i), std::move(release));
+    }
+  } else {
+    net::Message arrive;
+    arrive.tag = tag_base;
+    fabric.Send(self, leader, std::move(arrive));
+    auto release = fabric.Recv(self, tag_base + 1);
+    RNA_CHECK_MSG(release.has_value(), "fabric shut down mid-barrier");
+  }
+}
+
+}  // namespace rna::collectives

@@ -1,0 +1,33 @@
+#pragma once
+
+// Precondition/invariant checking. Violations are programming errors, so
+// they throw std::logic_error with location information; callers are not
+// expected to recover beyond tearing down the experiment.
+
+#include <stdexcept>
+#include <string>
+
+namespace rna::common {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& message) {
+  throw std::logic_error(std::string("check failed: ") + expr + " at " + file +
+                         ":" + std::to_string(line) +
+                         (message.empty() ? "" : " — " + message));
+}
+
+}  // namespace rna::common
+
+#define RNA_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::rna::common::CheckFailed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                \
+  } while (false)
+
+#define RNA_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::rna::common::CheckFailed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,39 @@
+#pragma once
+
+// Time helpers. Real time is always measured with steady_clock; simulated
+// time lives in rna::sim. Durations inside the project are expressed as
+// double seconds to keep arithmetic with workload models simple.
+
+#include <chrono>
+
+namespace rna::common {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Seconds as a double; the unit used throughout the simulator and the
+/// workload models.
+using Seconds = double;
+
+inline Seconds ToSeconds(SteadyClock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+inline SteadyClock::duration FromSeconds(Seconds s) {
+  return std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SteadyClock::now()) {}
+
+  void Reset() { start_ = SteadyClock::now(); }
+
+  Seconds Elapsed() const { return ToSeconds(SteadyClock::now() - start_); }
+
+ private:
+  SteadyClock::time_point start_;
+};
+
+}  // namespace rna::common

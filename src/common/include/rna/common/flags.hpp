@@ -1,0 +1,32 @@
+#pragma once
+
+// A tiny command-line flag parser for the example binaries:
+// --name=value or --name value; --flag alone is boolean true.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rna::common {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rna::common

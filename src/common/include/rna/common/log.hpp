@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal leveled, thread-safe logger. Benchmarks print their tables on
+// stdout directly; the logger is for diagnostics on stderr and is silent at
+// the default level so tests stay quiet.
+
+#include <sstream>
+#include <string>
+
+namespace rna::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr under a global mutex.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine Debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine Info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine Warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine Error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace rna::common

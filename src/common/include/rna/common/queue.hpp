@@ -1,0 +1,98 @@
+#pragma once
+
+// A blocking multi-producer/multi-consumer queue with close semantics,
+// used as the mailbox primitive of the in-process network fabric and as the
+// hand-off channel between each worker's compute and communication threads.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rna::common {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Pushes an item. Returns false (dropping the item) if the queue is
+  /// closed.
+  bool Push(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return PopLocked();
+  }
+
+  /// Like Pop but gives up after the timeout.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    return PopLocked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue: pending items can still be popped, further pushes are
+  /// rejected, and blocked consumers wake up.
+  void Close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool Closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t Size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rna::common

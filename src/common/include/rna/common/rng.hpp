@@ -1,0 +1,167 @@
+#pragma once
+
+// Deterministic, cross-platform random number generation.
+//
+// The standard <random> distributions are implementation-defined, which makes
+// tests and experiment tables non-reproducible across standard libraries.
+// This header provides a fixed algorithm for both the engine (xoshiro256**)
+// and every distribution the project uses, so a fixed seed yields the same
+// stream everywhere.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace rna::common {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality 64-bit engine.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire-style rejection
+  /// to avoid modulo bias.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    // Multiply-shift with rejection.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    UniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box-Muller (the second deviate is cached).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = Uniform();
+    while (u1 <= 0.0) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential with the given rate (inverse of the mean).
+  double Exponential(double rate) {
+    double u = Uniform();
+    while (u <= 0.0) u = Uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = UniformInt(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in selection order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+inline std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                              std::size_t k) {
+  // Partial Fisher-Yates over an index vector; O(n) setup, fine for the
+  // cluster sizes used here (<= a few hundred nodes).
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k && i < n; ++i) {
+    const std::size_t j = i + UniformInt(n - i);
+    using std::swap;
+    swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+}  // namespace rna::common

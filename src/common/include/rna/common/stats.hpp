@@ -1,0 +1,81 @@
+#pragma once
+
+// Lightweight statistics helpers used by benchmarks and workload analysis:
+// online mean/variance (Welford), percentile summaries and fixed-bin
+// histograms matching the box-plot statistics reported in the paper
+// (Figure 10 whiskers: p5/p95, box: p25/median/p75).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rna::common {
+
+/// Numerically stable online mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double Variance() const;
+  double Stddev() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-plus summary of a sample set.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample vector; q in [0, 100].
+/// The input is copied and sorted. Returns 0 for an empty sample.
+double Percentile(std::vector<double> samples, double q);
+
+/// Computes the full summary in one sort.
+PercentileSummary Summarize(std::vector<double> samples);
+
+/// Fixed-width-bin histogram over [lo, hi); values outside are clamped to
+/// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  std::size_t BinCount() const { return counts_.size(); }
+  std::size_t Count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t Total() const { return total_; }
+  double BinLo(std::size_t bin) const;
+  double BinHi(std::size_t bin) const;
+
+  /// ASCII rendering for bench output, one line per bin.
+  std::string Render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rna::common

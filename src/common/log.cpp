@@ -1,0 +1,42 @@
+#include "rna/common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace rna::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lock(g_log_mutex);
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace rna::common

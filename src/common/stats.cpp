@@ -1,0 +1,118 @@
+#include "rna/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rna::common {
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::Stddev() const { return std::sqrt(Variance()); }
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile q out of range");
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+PercentileSummary Summarize(std::vector<double> samples) {
+  PercentileSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  OnlineStats os;
+  for (double x : samples) os.Add(x);
+  s.mean = os.Mean();
+  s.stddev = os.Stddev();
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+  };
+  s.min = samples.front();
+  s.p5 = at(5);
+  s.p25 = at(25);
+  s.median = at(50);
+  s.p75 = at(75);
+  s.p95 = at(95);
+  s.max = samples.back();
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("histogram needs at least one bin");
+  if (!(lo < hi)) throw std::invalid_argument("histogram range must be non-empty");
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinLo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::BinHi(std::size_t bin) const { return BinLo(bin + 1); }
+
+std::string Histogram::Render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = counts_[b] * width / peak;
+    out << "[" << BinLo(b) << ", " << BinHi(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rna::common

@@ -1,0 +1,273 @@
+#include <atomic>
+#include <thread>
+
+#include "rna/collectives/ring.hpp"
+#include "rna/common/check.hpp"
+#include "rna/core/rna.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/ps/server.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/stage.hpp"
+#include "rna/train/tags.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::core {
+
+using namespace rna::train;
+
+// Hierarchical synchronization (§4): workers are partitioned into
+// speed-homogeneous groups by the recursive ζ>v rule over calibrated
+// iteration times. Each group runs RNA internally with its own controller;
+// each PS-sync round the group leader PushPulls the group model through a
+// central parameter server (model averaging) and broadcasts the result
+// inside the group. Groups never barrier against each other — the PS serves
+// them asynchronously in arrival order, which is what defuses the
+// deterministic slowdown that defeats purely probabilistic approaches.
+TrainResult RunHierarchicalRna(const TrainerConfig& config,
+                               const ModelFactory& factory,
+                               const data::Dataset& train_data,
+                               const data::Dataset& val_data) {
+  const std::size_t world = config.world;
+  RNA_CHECK_MSG(world >= 1, "need at least one worker");
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  const std::vector<float> init = InitialParams(config, factory);
+
+  // ---- calibration + grouping (ζ > v rule) ------------------------------
+  std::vector<double> iter_times(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    iter_times[w] = workers[w]->MeasureIterationTime(
+        init, std::max<std::size_t>(1, config.calibration_iters));
+  }
+  const std::vector<std::size_t> group_of = ComputeSpeedGroups(iter_times);
+  std::size_t num_groups = 0;
+  for (std::size_t g : group_of) num_groups = std::max(num_groups, g + 1);
+
+  std::vector<collectives::Group> groups(num_groups);
+  for (std::size_t w = 0; w < world; ++w) {
+    groups[group_of[w]].members.push_back(w);
+  }
+
+  // Endpoint layout: [workers | group controllers | parameter server].
+  const net::Rank first_controller = world;
+  const net::Rank ps_rank = world + num_groups;
+  net::Fabric fabric(world + num_groups + 1);
+
+  ps::ParameterServer server(fabric, ps_rank, init);
+  server.Start();
+
+  std::vector<std::unique_ptr<GradientStage>> stages;
+  for (std::size_t w = 0; w < world; ++w) {
+    stages.push_back(std::make_unique<GradientStage>(
+        dim, config.staleness_bound, config.combine));
+  }
+  ParamBoard board(init);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> global_stop{false};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> batches_applied{0};
+  // Written only by worker 0's group controller, read after joins.
+  std::vector<std::size_t> round_contributors;
+
+  EvalMonitor monitor(config, factory, val_data);
+  monitor.Start(board, stop, rounds_done);
+
+  std::vector<WorkerTimeBreakdown> comm_times(world);
+  std::vector<std::vector<float>> final_params(world);
+  const common::Stopwatch wall;
+
+  // ---- communication threads (one per worker) ----------------------------
+  std::vector<std::thread> comm_threads;
+  comm_threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    comm_threads.emplace_back([&, w] {
+      const collectives::Group& group = groups[group_of[w]];
+      const std::size_t my_index = group.IndexOf(w);
+      const net::Rank my_controller = first_controller + group_of[w];
+      const std::size_t group_size = group.Size();
+
+      std::vector<float> params = init;
+      std::vector<float> buffer(dim);
+      nn::SgdMomentum& optimizer = workers[w]->Optimizer();
+      ps::PsClient ps_client(fabric, w, ps_rank);
+      std::int64_t published = 0;
+
+      for (;;) {
+        const common::Stopwatch idle;
+        auto go = fabric.Recv(w, tags::kGo);
+        comm_times[w].wait += idle.Elapsed();
+        if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
+        const auto round = static_cast<std::size_t>(go->meta[0]);
+
+        // Step LR schedule: every worker decays at the same round.
+        for (std::size_t milestone : config.lr_decay_rounds) {
+          if (milestone == round) {
+            optimizer.DecayLearningRate(config.lr_decay_factor);
+          }
+        }
+
+        auto drained = stages[w]->Drain();
+        const bool contributes = drained.has_value();
+        if (contributes) {
+          buffer = std::move(drained->grad);
+        } else {
+          std::fill(buffer.begin(), buffer.end(), 0.0f);
+        }
+
+        const common::Stopwatch comm_watch;
+        const auto reduced = collectives::RingPartialAllreduce(
+            fabric, group, my_index, buffer, contributes,
+            tags::RingTag(round));
+        if (reduced.contributors > 0) {
+          const double scale =
+              config.lr_policy == LrScalePolicy::kLinear
+                  ? static_cast<double>(reduced.contributors) /
+                        static_cast<double>(group_size)
+                  : 1.0;
+          optimizer.Step(params, buffer, scale);
+        }
+
+        // Asynchronous cross-group averaging through the PS (§4 phases
+        // 2–3): the group leader pushes the group model, pulls back the
+        // running average, and broadcasts it within the group.
+        if (config.ps_sync_every > 0 && round % config.ps_sync_every == 0) {
+          if (my_index == 0) {
+            params = ps_client.PushPull(params, ps::ApplyMode::kAverage);
+          }
+          collectives::Broadcast(
+              fabric, group, my_index, 0, params,
+              tags::kGroupRing + static_cast<int>(round % 2));
+        }
+        comm_times[w].comm += comm_watch.Elapsed();
+
+        if (w == 0) board.Publish(params, ++published);
+
+        net::Message report;
+        report.tag = tags::kRoundEnd;
+        report.meta = {go->meta[0],
+                       contributes ? static_cast<std::int64_t>(drained->count)
+                                   : 0};
+        fabric.Send(w, my_controller, std::move(report));
+      }
+      global_stop.store(true);
+      final_params[w] = std::move(params);
+    });
+  }
+
+  // ---- compute threads ----------------------------------------------------
+  std::vector<std::thread> compute_threads;
+  compute_threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    compute_threads.emplace_back([&, w] {
+      const net::Rank my_controller = first_controller + group_of[w];
+      std::vector<float> params = init;
+      std::vector<float> grad(dim);
+      std::int64_t seen = 0;
+      while (!global_stop.load(std::memory_order_relaxed)) {
+        seen = board.ReadIfNewer(seen, &params);
+        workers[w]->ComputeGradient(params, grad);
+        const bool grew = stages[w]->Write(
+            grad, static_cast<std::int64_t>(workers[w]->Iterations()));
+        if (grew) {
+          net::Message ready;
+          ready.tag = tags::kReady;
+          fabric.Send(w, my_controller, std::move(ready));
+        }
+      }
+    });
+  }
+
+  // ---- per-group controllers ---------------------------------------------
+  std::vector<std::thread> controllers;
+  controllers.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    controllers.emplace_back([&, g] {
+      const collectives::Group& group = groups[g];
+      const net::Rank self = first_controller + g;
+      const std::size_t group_size = group.Size();
+      common::Rng rng(config.seed + 9101 + 7 * g);
+      auto policy = MakeProbePolicy(config.probe_choices);
+      std::vector<std::int64_t> ready(group_size, 0);
+
+      auto index_of = [&](net::Rank rank) { return group.IndexOf(rank); };
+      auto broadcast_go = [&](std::int64_t round, std::int64_t last) {
+        for (std::size_t i = 0; i < group_size; ++i) {
+          net::Message go;
+          go.tag = tags::kGo;
+          go.meta = {round, last};
+          fabric.Send(self, group.At(i), std::move(go));
+        }
+      };
+
+      for (std::size_t round = 0;
+           round < config.max_rounds && !global_stop.load(); ++round) {
+        policy->BeginRound(group_size, rng);
+        while (!stop.load() && !global_stop.load()) {
+          while (auto note = fabric.TryRecv(self, tags::kReady)) {
+            ++ready[index_of(note->src)];
+          }
+          if (policy->ShouldTrigger(ready)) break;
+          auto note = fabric.RecvFor(self, tags::kReady, 0.002);
+          if (note.has_value()) ++ready[index_of(note->src)];
+        }
+        if (stop.load() || global_stop.load()) break;
+
+        broadcast_go(static_cast<std::int64_t>(round), 0);
+        const int both[] = {tags::kRoundEnd, tags::kReady};
+        std::size_t contributors = 0;
+        for (std::size_t reports = 0; reports < group_size;) {
+          auto msg = fabric.RecvAny(self, both);
+          if (!msg.has_value()) return;
+          if (msg->tag == tags::kReady) {
+            ++ready[index_of(msg->src)];
+            continue;
+          }
+          ready[index_of(msg->src)] -= msg->meta[1];
+          batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
+          if (msg->meta[1] > 0) ++contributors;
+          ++reports;
+        }
+        if (g == group_of[0]) {
+          round_contributors.push_back(contributors);
+          rounds_done.fetch_add(1);
+        }
+      }
+      broadcast_go(-1, 1);
+    });
+  }
+
+  for (auto& t : controllers) t.join();
+  for (auto& t : comm_threads) t.join();
+  for (auto& t : compute_threads) t.join();
+  const common::Seconds wall_s = wall.Elapsed();
+  monitor.Finish();
+  server.Stop();
+
+  TrainResult result;
+  result.wall_seconds = wall_s;
+  result.rounds = rounds_done.load();
+  result.gradients_applied = batches_applied.load();
+  for (auto& stage : stages) result.gradients_dropped += stage->Dropped();
+  result.reached_target = monitor.ReachedTarget();
+  result.early_stopped = monitor.EarlyStopped();
+  result.curve = monitor.Curve();
+  result.round_contributors = std::move(round_contributors);
+  result.breakdown.resize(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    result.breakdown[w] = workers[w]->Times();
+    result.breakdown[w].wait = comm_times[w].wait;
+    result.breakdown[w].comm = comm_times[w].comm;
+  }
+  result.final_params = final_params[0];
+  const nn::BatchResult final_eval = monitor.FullEval(final_params[0]);
+  result.final_loss = final_eval.loss;
+  result.final_accuracy = final_eval.Accuracy();
+  result.final_train_loss =
+      EvaluateDataset(workers[0]->Net(), final_params[0], train_data, 2048)
+          .loss;
+  return result;
+}
+
+}  // namespace rna::core

@@ -1,0 +1,42 @@
+#include "rna/common/check.hpp"
+#include "rna/core/rna.hpp"
+
+namespace rna::core {
+
+namespace {
+
+class ProbePolicy final : public train::TriggerPolicy {
+ public:
+  explicit ProbePolicy(std::size_t choices) : choices_(choices) {
+    RNA_CHECK_MSG(choices >= 1, "need at least one probe");
+  }
+
+  void BeginRound(std::size_t world, common::Rng& rng) override {
+    probes_ = rng.SampleWithoutReplacement(world,
+                                           std::min(choices_, world));
+  }
+
+  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
+    // The probe RPC is answered the moment the probed worker has a
+    // gradient; the first answer triggers the round and expires the other
+    // probes (§3.2).
+    for (std::size_t p : probes_) {
+      if (ready[p] > 0) return true;
+    }
+    return false;
+  }
+
+  const char* Name() const override { return "probe"; }
+
+ private:
+  std::size_t choices_;
+  std::vector<std::size_t> probes_;
+};
+
+}  // namespace
+
+std::unique_ptr<train::TriggerPolicy> MakeProbePolicy(std::size_t choices) {
+  return std::make_unique<ProbePolicy>(choices);
+}
+
+}  // namespace rna::core

@@ -1,0 +1,32 @@
+#include "rna/baselines/baselines.hpp"
+#include "rna/common/check.hpp"
+#include "rna/core/rna.hpp"
+
+namespace rna::core {
+
+train::TrainResult RunTraining(const train::TrainerConfig& config,
+                               const train::ModelFactory& factory,
+                               const data::Dataset& train_data,
+                               const data::Dataset& val_data) {
+  switch (config.protocol) {
+    case train::Protocol::kHorovod:
+      return baselines::RunHorovod(config, factory, train_data, val_data);
+    case train::Protocol::kEagerSgd:
+      return baselines::RunEagerSgd(config, factory, train_data, val_data);
+    case train::Protocol::kAdPsgd:
+      return baselines::RunAdPsgd(config, factory, train_data, val_data);
+    case train::Protocol::kRna:
+      return RunRna(config, factory, train_data, val_data);
+    case train::Protocol::kRnaHierarchical:
+      return RunHierarchicalRna(config, factory, train_data, val_data);
+    case train::Protocol::kSgp:
+      return baselines::RunSgp(config, factory, train_data, val_data);
+    case train::Protocol::kCentralizedPs:
+      return baselines::RunCentralizedPs(config, factory, train_data,
+                                         val_data);
+  }
+  RNA_CHECK_MSG(false, "unknown protocol");
+  return {};
+}
+
+}  // namespace rna::core

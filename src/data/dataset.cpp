@@ -1,0 +1,106 @@
+#include "rna/data/dataset.hpp"
+
+#include <algorithm>
+
+#include "rna/common/check.hpp"
+
+namespace rna::data {
+
+nn::Batch Dataset::MakeBatch(std::span<const std::size_t> indices) const {
+  nn::Batch batch;
+  batch.labels.reserve(indices.size());
+  if (IsSequence()) {
+    batch.sequences.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      RNA_CHECK(idx < Size());
+      batch.sequences.push_back(sequences[idx]);
+      batch.labels.push_back(labels[idx]);
+    }
+  } else {
+    const std::size_t dim = inputs.Cols();
+    batch.inputs = tensor::Tensor({indices.size(), dim});
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const std::size_t idx = indices[i];
+      RNA_CHECK(idx < Size());
+      const float* src = inputs.Data() + idx * dim;
+      std::copy(src, src + dim, batch.inputs.Data() + i * dim);
+      batch.labels.push_back(labels[idx]);
+    }
+  }
+  return batch;
+}
+
+Dataset Dataset::Select(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.labels.reserve(indices.size());
+  if (IsSequence()) {
+    out.sequences.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      out.sequences.push_back(sequences[idx]);
+      out.labels.push_back(labels[idx]);
+    }
+  } else {
+    const std::size_t dim = inputs.Cols();
+    out.inputs = tensor::Tensor({indices.size(), dim});
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const float* src = inputs.Data() + indices[i] * dim;
+      std::copy(src, src + dim, out.inputs.Data() + i * dim);
+      out.labels.push_back(labels[indices[i]]);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Shard(std::size_t rank, std::size_t world) const {
+  RNA_CHECK_MSG(world > 0 && rank < world, "invalid shard rank/world");
+  std::vector<std::size_t> indices;
+  for (std::size_t i = rank; i < Size(); i += world) indices.push_back(i);
+  return Select(indices);
+}
+
+std::pair<Dataset, Dataset> Dataset::SplitHoldout(double fraction) const {
+  RNA_CHECK_MSG(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+  const auto holdout =
+      static_cast<std::size_t>(static_cast<double>(Size()) * fraction);
+  const std::size_t train_n = Size() - holdout;
+  std::vector<std::size_t> train_idx(train_n), val_idx(holdout);
+  for (std::size_t i = 0; i < train_n; ++i) train_idx[i] = i;
+  for (std::size_t i = 0; i < holdout; ++i) val_idx[i] = train_n + i;
+  return {Select(train_idx), Select(val_idx)};
+}
+
+BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
+                           std::uint64_t seed, SamplingMode mode)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(seed), mode_(mode) {
+  RNA_CHECK_MSG(dataset.Size() > 0, "cannot sample an empty dataset");
+  RNA_CHECK_MSG(batch_size > 0, "batch size must be positive");
+  if (mode_ == SamplingMode::kLengthBucketed && dataset.IsSequence()) {
+    by_length_.resize(dataset.Size());
+    for (std::size_t i = 0; i < by_length_.size(); ++i) by_length_[i] = i;
+    std::sort(by_length_.begin(), by_length_.end(),
+              [&](std::size_t a, std::size_t b) {
+                return dataset.sequences[a].Rows() < dataset.sequences[b].Rows();
+              });
+  } else {
+    mode_ = SamplingMode::kUniform;
+  }
+}
+
+nn::Batch BatchSampler::Next() {
+  std::vector<std::size_t> indices(batch_size_);
+  if (mode_ == SamplingMode::kLengthBucketed) {
+    // A random window in length-sorted order: similar-length sequences end
+    // up in the same batch, so batch time tracks the length distribution.
+    const std::size_t n = dataset_->Size();
+    const std::size_t span = n > batch_size_ ? n - batch_size_ + 1 : 1;
+    const std::size_t start = rng_.UniformInt(span);
+    for (std::size_t i = 0; i < batch_size_; ++i) {
+      indices[i] = by_length_[std::min(start + i, n - 1)];
+    }
+  } else {
+    for (auto& idx : indices) idx = rng_.UniformInt(dataset_->Size());
+  }
+  return dataset_->MakeBatch(indices);
+}
+
+}  // namespace rna::data

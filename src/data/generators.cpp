@@ -1,0 +1,143 @@
+#include "rna/data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "rna/common/check.hpp"
+
+namespace rna::data {
+
+LengthModel LengthModel::Scaled(double factor) const {
+  RNA_CHECK_MSG(factor > 0.0, "scale factor must be positive");
+  LengthModel m;
+  m.mean = mean / factor;
+  m.stddev = stddev / factor;
+  m.min_len = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(min_len) / factor));
+  m.max_len = std::max<std::size_t>(
+      m.min_len + 1,
+      static_cast<std::size_t>(static_cast<double>(max_len) / factor));
+  return m;
+}
+
+std::size_t LengthModel::Sample(common::Rng& rng) const {
+  // Log-normal parameterized by the desired arithmetic mean and stddev.
+  const double ratio = stddev / mean;
+  const double sigma2 = std::log(1.0 + ratio * ratio);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  const double raw = rng.LogNormal(mu, std::sqrt(sigma2));
+  const auto len = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp(len, min_len, max_len);
+}
+
+LengthModel VideoLengths(double scale) { return LengthModel{}.Scaled(scale); }
+
+LengthModel SentenceLengths() {
+  LengthModel m;
+  m.mean = 24.0;
+  m.stddev = 16.0;
+  m.min_len = 3;
+  m.max_len = 120;
+  return m;
+}
+
+Dataset MakeGaussianClusters(std::size_t samples, std::size_t dim,
+                             std::size_t classes, double spread,
+                             std::uint64_t seed) {
+  RNA_CHECK(classes >= 2 && dim >= 1 && samples >= classes);
+  common::Rng rng(seed);
+
+  // Random unit-ish directions as class centers, separated by construction.
+  std::vector<std::vector<float>> centers(classes, std::vector<float>(dim));
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      centers[c][d] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    // Normalize then scale so centers sit on a radius-2 sphere.
+    double norm = 0.0;
+    for (float v : centers[c]) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(std::max(norm, 1e-9));
+    for (auto& v : centers[c]) v = static_cast<float>(v / norm * 2.0);
+  }
+
+  Dataset out;
+  out.inputs = tensor::Tensor({samples, dim});
+  out.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto c = static_cast<std::int32_t>(i % classes);
+    out.labels[i] = c;
+    float* row = out.inputs.Data() + i * dim;
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = centers[static_cast<std::size_t>(c)][d] +
+               static_cast<float>(rng.Normal(0.0, spread));
+    }
+  }
+  return out;
+}
+
+Dataset MakeTwoSpirals(std::size_t samples, std::size_t dim, double noise,
+                       std::uint64_t seed) {
+  RNA_CHECK(dim >= 2 && samples >= 2);
+  common::Rng rng(seed);
+  Dataset out;
+  out.inputs = tensor::Tensor({samples, dim});
+  out.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::int32_t label = static_cast<std::int32_t>(i % 2);
+    const double t = rng.Uniform() * 3.0 * std::numbers::pi + 0.5;
+    const double r = t / (3.0 * std::numbers::pi) * 2.0;
+    const double phase = label == 0 ? 0.0 : std::numbers::pi;
+    float* row = out.inputs.Data() + i * dim;
+    row[0] = static_cast<float>(r * std::cos(t + phase) +
+                                rng.Normal(0.0, noise));
+    row[1] = static_cast<float>(r * std::sin(t + phase) +
+                                rng.Normal(0.0, noise));
+    for (std::size_t d = 2; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.Normal(0.0, noise));
+    }
+    out.labels[i] = label;
+  }
+  return out;
+}
+
+Dataset MakeSequenceDataset(std::size_t samples, std::size_t input_dim,
+                            std::size_t classes, const LengthModel& lengths,
+                            double noise, std::uint64_t seed) {
+  RNA_CHECK(classes >= 2 && input_dim >= 1 && samples >= classes);
+  common::Rng rng(seed);
+
+  // Latent class patterns and per-class oscillation frequencies.
+  std::vector<std::vector<float>> patterns(classes,
+                                           std::vector<float>(input_dim));
+  std::vector<double> freqs(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (auto& v : patterns[c]) v = static_cast<float>(rng.Normal(0.0, 1.0));
+    freqs[c] = 0.15 + 0.25 * static_cast<double>(c) /
+                          static_cast<double>(classes);
+  }
+
+  Dataset out;
+  out.sequences.reserve(samples);
+  out.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto c = static_cast<std::int32_t>(i % classes);
+    out.labels[i] = c;
+    const std::size_t len = lengths.Sample(rng);
+    tensor::Tensor seq({len, input_dim});
+    const auto& pattern = patterns[static_cast<std::size_t>(c)];
+    const double freq = freqs[static_cast<std::size_t>(c)];
+    for (std::size_t t = 0; t < len; ++t) {
+      const auto signal =
+          static_cast<float>(std::sin(freq * static_cast<double>(t)) + 0.5);
+      float* row = seq.Data() + t * input_dim;
+      for (std::size_t d = 0; d < input_dim; ++d) {
+        row[d] = pattern[d] * signal + static_cast<float>(rng.Normal(0.0, noise));
+      }
+    }
+    out.sequences.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace rna::data

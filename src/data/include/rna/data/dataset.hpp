@@ -1,0 +1,70 @@
+#pragma once
+
+// In-memory datasets with deterministic sharding — the data-parallel
+// equivalent of each worker reading its own partition of ImageNet/UCF101.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rna/common/rng.hpp"
+#include "rna/nn/network.hpp"
+#include "rna/tensor/tensor.hpp"
+
+namespace rna::data {
+
+struct Dataset {
+  // Exactly one of `inputs` (dense N×D) or `sequences` (per-sample T_i×D)
+  // is populated.
+  tensor::Tensor inputs;
+  std::vector<tensor::Tensor> sequences;
+  std::vector<std::int32_t> labels;
+
+  bool IsSequence() const { return !sequences.empty(); }
+  std::size_t Size() const { return labels.size(); }
+
+  /// Assembles a batch from sample indices.
+  nn::Batch MakeBatch(std::span<const std::size_t> indices) const;
+
+  /// Round-robin shard: worker `rank` keeps samples with index ≡ rank
+  /// (mod world). Deterministic, disjoint, and near-equal in count.
+  Dataset Shard(std::size_t rank, std::size_t world) const;
+
+  /// Splits off the last `fraction` of samples as a validation set.
+  std::pair<Dataset, Dataset> SplitHoldout(double fraction) const;
+
+ private:
+  Dataset Select(std::span<const std::size_t> indices) const;
+};
+
+/// How batches are assembled from the shard.
+enum class SamplingMode {
+  /// Uniform with replacement — mini-batch SGD's i.i.d. sampling.
+  kUniform,
+  /// Sequences of similar length are batched together (the standard
+  /// bucketed batching for RNN/Transformer training). This is what makes
+  /// per-batch compute follow the per-sample length distribution — the
+  /// inherent load imbalance of Figure 2(b). Falls back to kUniform for
+  /// dense datasets.
+  kLengthBucketed,
+};
+
+/// Batch sampler over a dataset.
+class BatchSampler {
+ public:
+  BatchSampler(const Dataset& dataset, std::size_t batch_size,
+               std::uint64_t seed, SamplingMode mode = SamplingMode::kUniform);
+
+  nn::Batch Next();
+
+  std::size_t BatchSize() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  common::Rng rng_;
+  SamplingMode mode_;
+  std::vector<std::size_t> by_length_;  // sample indices sorted by length
+};
+
+}  // namespace rna::data

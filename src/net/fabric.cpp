@@ -1,0 +1,200 @@
+#include "rna/net/fabric.hpp"
+
+#include <algorithm>
+
+#include "rna/common/check.hpp"
+
+namespace rna::net {
+
+namespace {
+
+bool TagMatches(int tag, std::span<const int> tags) {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+}  // namespace
+
+bool Mailbox::Put(Message msg) {
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    messages_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<Message> Mailbox::PopLocked(std::span<const int> tags) {
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    if (TagMatches(it->tag, tags)) {
+      Message msg = std::move(*it);
+      messages_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::Get(int tag) {
+  const int tags[] = {tag};
+  return GetAny(tags);
+}
+
+std::optional<Message> Mailbox::GetFor(int tag, common::Seconds timeout) {
+  const int tags[] = {tag};
+  std::unique_lock lock(mu_);
+  std::optional<Message> found;
+  cv_.wait_for(lock, common::FromSeconds(timeout), [&] {
+    found = PopLocked(tags);
+    return found.has_value() || closed_;
+  });
+  if (!found) found = PopLocked(tags);  // final chance after timeout/close
+  return found;
+}
+
+std::optional<Message> Mailbox::GetAny(std::span<const int> tags) {
+  std::unique_lock lock(mu_);
+  std::optional<Message> found;
+  cv_.wait(lock, [&] {
+    found = PopLocked(tags);
+    return found.has_value() || closed_;
+  });
+  return found;
+}
+
+std::optional<Message> Mailbox::TryGet(int tag) {
+  const int tags[] = {tag};
+  std::scoped_lock lock(mu_);
+  return PopLocked(tags);
+}
+
+std::size_t Mailbox::Pending(int tag) const {
+  std::scoped_lock lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(messages_.begin(), messages_.end(),
+                    [&](const Message& m) { return m.tag == tag; }));
+}
+
+void Mailbox::Close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Fabric::Fabric(std::size_t endpoints, LatencyModel latency)
+    : latency_(std::move(latency)), stats_(endpoints) {
+  RNA_CHECK_MSG(endpoints > 0, "fabric needs at least one endpoint");
+  mailboxes_.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  if (latency_) {
+    timer_thread_ = std::thread([this] { TimerLoop(); });
+  }
+}
+
+Fabric::~Fabric() {
+  Shutdown();
+  if (timer_thread_.joinable()) {
+    {
+      std::scoped_lock lock(timer_mu_);
+      timer_stop_ = true;
+    }
+    timer_cv_.notify_all();
+    timer_thread_.join();
+  }
+}
+
+void Fabric::Send(Rank from, Rank to, Message msg) {
+  RNA_CHECK(from < Size() && to < Size());
+  msg.src = from;
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_[from].messages_sent;
+    stats_[from].bytes_sent += msg.ByteSize();
+  }
+  common::Seconds delay = 0.0;
+  if (latency_) delay = latency_(from, to, msg.ByteSize());
+  if (delay <= 0.0) {
+    mailboxes_[to]->Put(std::move(msg));
+    return;
+  }
+  {
+    std::scoped_lock lock(timer_mu_);
+    timer_heap_.push_back(PendingDelivery{
+        common::SteadyClock::now() + common::FromSeconds(delay), to,
+        std::move(msg)});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(),
+                   std::greater<PendingDelivery>{});
+  }
+  timer_cv_.notify_all();
+}
+
+void Fabric::TimerLoop() {
+  std::unique_lock lock(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock, [&] { return timer_stop_ || !timer_heap_.empty(); });
+      continue;
+    }
+    const auto due = timer_heap_.front().due;
+    const auto now = common::SteadyClock::now();
+    if (now < due) {
+      timer_cv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(),
+                  std::greater<PendingDelivery>{});
+    PendingDelivery delivery = std::move(timer_heap_.back());
+    timer_heap_.pop_back();
+    lock.unlock();
+    mailboxes_[delivery.to]->Put(std::move(delivery.msg));
+    lock.lock();
+  }
+}
+
+std::optional<Message> Fabric::Recv(Rank at, int tag) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->Get(tag);
+}
+
+std::optional<Message> Fabric::RecvFor(Rank at, int tag,
+                                       common::Seconds timeout) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->GetFor(tag, timeout);
+}
+
+std::optional<Message> Fabric::RecvAny(Rank at, std::span<const int> tags) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->GetAny(tags);
+}
+
+std::optional<Message> Fabric::TryRecv(Rank at, int tag) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->TryGet(tag);
+}
+
+void Fabric::Shutdown() {
+  for (auto& mailbox : mailboxes_) mailbox->Close();
+}
+
+TrafficStats Fabric::StatsFor(Rank rank) const {
+  RNA_CHECK(rank < Size());
+  std::scoped_lock lock(stats_mu_);
+  return stats_[rank];
+}
+
+TrafficStats Fabric::TotalStats() const {
+  std::scoped_lock lock(stats_mu_);
+  TrafficStats total;
+  for (const auto& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace rna::net

@@ -1,0 +1,123 @@
+#pragma once
+
+// An in-process message fabric: N endpoints, each with a tag-addressed
+// mailbox supporting blocking, timed, and multi-tag receives. This is the
+// repo's substitute for MPI point-to-point transport (see DESIGN.md); all
+// collectives, the parameter server, the RNA controller RPCs and the
+// AD-PSGD gossip run on top of it.
+//
+// An optional latency model delays deliveries on a dedicated timer thread,
+// letting experiments inject network heterogeneity without touching
+// protocol code.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+#include "rna/net/message.hpp"
+
+namespace rna::net {
+
+/// Seconds of delivery delay for a message of `bytes` from `from` to `to`.
+/// Return 0 for immediate delivery.
+using LatencyModel =
+    std::function<common::Seconds(Rank from, Rank to, std::size_t bytes)>;
+
+/// Tag-addressed mailbox. Thread-safe; one instance per endpoint.
+class Mailbox {
+ public:
+  /// Enqueues a message; returns false if the mailbox is closed.
+  bool Put(Message msg);
+
+  /// Blocks until a message with the tag arrives (or close). Messages with
+  /// other tags are unaffected.
+  std::optional<Message> Get(int tag);
+
+  /// Timed variant; std::nullopt on timeout or close-and-drained.
+  std::optional<Message> GetFor(int tag, common::Seconds timeout);
+
+  /// Blocks until a message with *any* of the tags arrives; lower tag index
+  /// in `tags` wins when several are ready.
+  std::optional<Message> GetAny(std::span<const int> tags);
+
+  std::optional<Message> TryGet(int tag);
+
+  /// Number of queued messages for a tag.
+  std::size_t Pending(int tag) const;
+
+  void Close();
+
+ private:
+  std::optional<Message> PopLocked(std::span<const int> tags);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> messages_;
+  bool closed_ = false;
+};
+
+/// Cumulative per-endpoint traffic counters.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(std::size_t endpoints, LatencyModel latency = {});
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::size_t Size() const { return mailboxes_.size(); }
+
+  /// Delivers (possibly after a modelled delay) to `to`'s mailbox.
+  void Send(Rank from, Rank to, Message msg);
+
+  // Receive helpers delegating to the endpoint's mailbox.
+  std::optional<Message> Recv(Rank at, int tag);
+  std::optional<Message> RecvFor(Rank at, int tag, common::Seconds timeout);
+  std::optional<Message> RecvAny(Rank at, std::span<const int> tags);
+  std::optional<Message> TryRecv(Rank at, int tag);
+
+  /// Closes every mailbox; all blocked receivers wake with std::nullopt.
+  void Shutdown();
+
+  TrafficStats StatsFor(Rank rank) const;
+  TrafficStats TotalStats() const;
+
+ private:
+  struct PendingDelivery {
+    common::SteadyClock::time_point due;
+    Rank to;
+    Message msg;
+    bool operator>(const PendingDelivery& other) const { return due > other.due; }
+  };
+
+  void TimerLoop();
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  LatencyModel latency_;
+
+  mutable std::mutex stats_mu_;
+  std::vector<TrafficStats> stats_;
+
+  // Delayed-delivery machinery (only active when a latency model is set).
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<PendingDelivery> timer_heap_;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+};
+
+}  // namespace rna::net

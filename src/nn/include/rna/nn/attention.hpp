@@ -1,0 +1,74 @@
+#pragma once
+
+// Single-head scaled-dot-product self-attention over one sequence, with
+// exact backpropagation. Stands in for the paper's Transformer workload:
+// per-sample compute is quadratic in sequence length, so variable-length
+// "sentences" produce the batch-time imbalance the paper studies on WMT17.
+
+#include <vector>
+
+#include "rna/common/rng.hpp"
+#include "rna/tensor/tensor.hpp"
+
+namespace rna::nn {
+
+using tensor::Tensor;
+
+class AttentionBlock {
+ public:
+  /// Projections Wq, Wk, Wv are D×A.
+  AttentionBlock(std::size_t input_dim, std::size_t attn_dim,
+                 common::Rng& rng);
+
+  /// x: T×D → output T×A, where row t attends over the whole sequence.
+  Tensor Forward(const Tensor& x);
+
+  /// dy: T×A → returns dL/dX (T×D); accumulates projection gradients.
+  Tensor Backward(const Tensor& dy);
+
+  std::vector<Tensor*> Params() { return {&wq_, &wk_, &wv_}; }
+  std::vector<Tensor*> Grads() { return {&dwq_, &dwk_, &dwv_}; }
+  void ZeroGrads();
+
+  std::size_t InputDim() const { return input_dim_; }
+  std::size_t AttnDim() const { return attn_dim_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t attn_dim_;
+  Tensor wq_, wk_, wv_;
+  Tensor dwq_, dwk_, dwv_;
+
+  // Caches from the last Forward.
+  Tensor input_;              // T×D
+  Tensor q_, k_, v_;          // T×A
+  Tensor attn_;               // T×T row-softmax weights
+};
+
+/// Multi-head self-attention: `heads` independent AttentionBlocks whose
+/// outputs are concatenated along the feature axis (T×(heads·head_dim)).
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::size_t input_dim, std::size_t head_dim,
+                     std::size_t heads, common::Rng& rng);
+
+  /// x: T×D → T×(heads·head_dim).
+  Tensor Forward(const Tensor& x);
+
+  /// dy: T×(heads·head_dim) → dL/dX (T×D); accumulates head gradients.
+  Tensor Backward(const Tensor& dy);
+
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+  void ZeroGrads();
+
+  std::size_t InputDim() const { return input_dim_; }
+  std::size_t OutDim() const { return heads_.size() * head_dim_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t head_dim_;
+  std::vector<AttentionBlock> heads_;
+};
+
+}  // namespace rna::nn

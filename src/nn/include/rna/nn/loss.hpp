@@ -1,0 +1,23 @@
+#pragma once
+
+// Softmax + cross-entropy head. Combined so the gradient is the numerically
+// stable (softmax − one-hot) / batch form.
+
+#include <cstdint>
+#include <vector>
+
+#include "rna/tensor/tensor.hpp"
+
+namespace rna::nn {
+
+struct LossResult {
+  double loss = 0.0;              ///< mean cross-entropy over the batch
+  std::size_t correct = 0;        ///< argmax hits
+  tensor::Tensor dlogits;         ///< dL/dlogits, already divided by batch
+};
+
+/// logits: B×C; labels: B class indices in [0, C).
+LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
+                               const std::vector<std::int32_t>& labels);
+
+}  // namespace rna::nn

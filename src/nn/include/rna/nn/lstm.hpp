@@ -1,0 +1,62 @@
+#pragma once
+
+// Single-sequence LSTM layer with exact backpropagation-through-time.
+//
+// Sequences are processed one at a time (the enclosing model loops over the
+// batch and relies on gradient accumulation). This matches the paper's load
+// imbalance story: with variable-length inputs the per-sample compute cost
+// here is *genuinely* proportional to sequence length, reproducing the
+// "inherent load imbalance" of LSTM-on-video training (Figure 2) physically
+// rather than by simulation.
+
+#include <vector>
+
+#include "rna/common/rng.hpp"
+#include "rna/tensor/tensor.hpp"
+
+namespace rna::nn {
+
+using tensor::Tensor;
+
+class LstmLayer {
+ public:
+  /// Gate weights: Wx (D×4H), Wh (H×4H), b (4H), gate order [i, f, g, o].
+  /// The forget-gate bias is initialized to 1.
+  LstmLayer(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng);
+
+  /// x: T×D. Returns the final hidden state h_T as a 1×H tensor and caches
+  /// the full unrolled state for Backward.
+  Tensor Forward(const Tensor& x);
+
+  /// dh_final: 1×H (gradient w.r.t. h_T). Accumulates parameter gradients
+  /// and returns dL/dX (T×D).
+  Tensor Backward(const Tensor& dh_final);
+
+  /// Like Forward, but returns the whole hidden sequence (T×H) — the input
+  /// of the next layer in a stacked LSTM.
+  Tensor ForwardSequence(const Tensor& x);
+
+  /// BPTT with a gradient on *every* timestep's hidden state (dh_all: T×H);
+  /// returns dL/dX (T×D).
+  Tensor BackwardSequence(const Tensor& dh_all);
+
+  std::vector<Tensor*> Params() { return {&wx_, &wh_, &b_}; }
+  std::vector<Tensor*> Grads() { return {&dwx_, &dwh_, &db_}; }
+  void ZeroGrads();
+
+  std::size_t InputDim() const { return input_dim_; }
+  std::size_t HiddenDim() const { return hidden_dim_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Tensor wx_, wh_, b_;
+  Tensor dwx_, dwh_, db_;
+
+  // Caches from the last Forward (all T×H except input_).
+  Tensor input_;                      // T×D
+  Tensor gate_i_, gate_f_, gate_g_, gate_o_;
+  Tensor cell_, tanh_cell_, hidden_;  // c_t, tanh(c_t), h_t
+};
+
+}  // namespace rna::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Layer normalization (per-row), the normalization used by Transformer
+// blocks: y = γ ⊙ (x − μ)/√(σ² + ε) + β with learned gain/bias.
+
+#include <vector>
+
+#include "rna/nn/layer.hpp"
+
+namespace rna::nn {
+
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t dim, float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& dy) override;
+  std::vector<Tensor*> Params() override { return {&gain_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dgain_, &dbias_}; }
+
+  std::size_t Dim() const { return dim_; }
+
+ private:
+  std::size_t dim_;
+  float epsilon_;
+  Tensor gain_, bias_, dgain_, dbias_;
+
+  // Caches from the last Forward.
+  Tensor normalized_;           // (x − μ)/σ per row
+  std::vector<float> inv_std_;  // 1/σ per row
+};
+
+}  // namespace rna::nn

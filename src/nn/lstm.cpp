@@ -1,0 +1,201 @@
+#include "rna/nn/lstm.hpp"
+
+#include <cmath>
+
+#include "rna/common/check.hpp"
+#include "rna/nn/init.hpp"
+#include "rna/tensor/ops.hpp"
+
+namespace rna::nn {
+
+namespace {
+
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim,
+                     common::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_({input_dim, 4 * hidden_dim}),
+      wh_({hidden_dim, 4 * hidden_dim}),
+      b_({4 * hidden_dim}),
+      dwx_({input_dim, 4 * hidden_dim}),
+      dwh_({hidden_dim, 4 * hidden_dim}),
+      db_({4 * hidden_dim}) {
+  XavierUniform(wx_, input_dim, 4 * hidden_dim, rng);
+  XavierUniform(wh_, hidden_dim, 4 * hidden_dim, rng);
+  // Forget-gate bias starts at 1 so early training does not erase the cell.
+  for (std::size_t h = 0; h < hidden_dim_; ++h) b_[hidden_dim_ + h] = 1.0f;
+}
+
+void LstmLayer::ZeroGrads() {
+  dwx_.Zero();
+  dwh_.Zero();
+  db_.Zero();
+}
+
+Tensor LstmLayer::Forward(const Tensor& x) {
+  RNA_CHECK_MSG(x.Cols() == input_dim_, "LSTM input width mismatch");
+  const std::size_t steps = x.Rows();
+  const std::size_t h_dim = hidden_dim_;
+  RNA_CHECK_MSG(steps > 0, "LSTM needs a non-empty sequence");
+
+  input_ = x;
+  gate_i_ = Tensor({steps, h_dim});
+  gate_f_ = Tensor({steps, h_dim});
+  gate_g_ = Tensor({steps, h_dim});
+  gate_o_ = Tensor({steps, h_dim});
+  cell_ = Tensor({steps, h_dim});
+  tanh_cell_ = Tensor({steps, h_dim});
+  hidden_ = Tensor({steps, h_dim});
+
+  // Precompute the input contribution for all steps in one matmul.
+  Tensor zx({steps, 4 * h_dim});
+  tensor::MatMul(x, wx_, zx);
+
+  std::vector<float> z(4 * h_dim);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const float* zx_row = zx.Data() + t * 4 * h_dim;
+    const float* h_prev = t > 0 ? hidden_.Data() + (t - 1) * h_dim : nullptr;
+    const float* c_prev = t > 0 ? cell_.Data() + (t - 1) * h_dim : nullptr;
+
+    // z = zx_row + h_prev · Wh + b
+    for (std::size_t j = 0; j < 4 * h_dim; ++j) z[j] = zx_row[j] + b_[j];
+    if (h_prev != nullptr) {
+      const float* wh = wh_.Data();
+      for (std::size_t hh = 0; hh < h_dim; ++hh) {
+        const float hv = h_prev[hh];
+        if (hv == 0.0f) continue;
+        const float* wrow = wh + hh * 4 * h_dim;
+        for (std::size_t j = 0; j < 4 * h_dim; ++j) z[j] += hv * wrow[j];
+      }
+    }
+
+    float* gi = gate_i_.Data() + t * h_dim;
+    float* gf = gate_f_.Data() + t * h_dim;
+    float* gg = gate_g_.Data() + t * h_dim;
+    float* go = gate_o_.Data() + t * h_dim;
+    float* ct = cell_.Data() + t * h_dim;
+    float* tct = tanh_cell_.Data() + t * h_dim;
+    float* ht = hidden_.Data() + t * h_dim;
+    for (std::size_t hh = 0; hh < h_dim; ++hh) {
+      gi[hh] = SigmoidF(z[hh]);
+      gf[hh] = SigmoidF(z[h_dim + hh]);
+      gg[hh] = std::tanh(z[2 * h_dim + hh]);
+      go[hh] = SigmoidF(z[3 * h_dim + hh]);
+      const float cp = c_prev != nullptr ? c_prev[hh] : 0.0f;
+      ct[hh] = gf[hh] * cp + gi[hh] * gg[hh];
+      tct[hh] = std::tanh(ct[hh]);
+      ht[hh] = go[hh] * tct[hh];
+    }
+  }
+
+  Tensor h_final({1, h_dim});
+  const float* last = hidden_.Data() + (steps - 1) * h_dim;
+  for (std::size_t hh = 0; hh < h_dim; ++hh) h_final[hh] = last[hh];
+  return h_final;
+}
+
+Tensor LstmLayer::ForwardSequence(const Tensor& x) {
+  Forward(x);
+  return hidden_;
+}
+
+Tensor LstmLayer::Backward(const Tensor& dh_final) {
+  const std::size_t steps = input_.Rows();
+  RNA_CHECK_MSG(dh_final.Size() == hidden_dim_,
+                "LSTM dh_final width mismatch");
+  // Gradient only on the last hidden state: a sequence gradient with one
+  // non-zero row.
+  Tensor dh_all({steps, hidden_dim_});
+  float* last = dh_all.Data() + (steps - 1) * hidden_dim_;
+  for (std::size_t hh = 0; hh < hidden_dim_; ++hh) last[hh] = dh_final[hh];
+  return BackwardSequence(dh_all);
+}
+
+Tensor LstmLayer::BackwardSequence(const Tensor& dh_all) {
+  const std::size_t steps = input_.Rows();
+  const std::size_t h_dim = hidden_dim_;
+  RNA_CHECK_MSG(dh_all.Rows() == steps && dh_all.Cols() == h_dim,
+                "LSTM dh_all shape mismatch");
+
+  Tensor dx({steps, input_dim_});
+  std::vector<float> dh(h_dim, 0.0f);    // gradient flowing into h_t
+  std::vector<float> dc(h_dim, 0.0f);    // gradient flowing into c_t
+  std::vector<float> dz(4 * h_dim);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    // Direct gradient on h_t from the layer above, plus the recurrent path.
+    const float* dh_row = dh_all.Data() + t * h_dim;
+    for (std::size_t hh = 0; hh < h_dim; ++hh) dh[hh] += dh_row[hh];
+
+    const float* gi = gate_i_.Data() + t * h_dim;
+    const float* gf = gate_f_.Data() + t * h_dim;
+    const float* gg = gate_g_.Data() + t * h_dim;
+    const float* go = gate_o_.Data() + t * h_dim;
+    const float* tct = tanh_cell_.Data() + t * h_dim;
+    const float* c_prev = t > 0 ? cell_.Data() + (t - 1) * h_dim : nullptr;
+    const float* h_prev = t > 0 ? hidden_.Data() + (t - 1) * h_dim : nullptr;
+    const float* xt = input_.Data() + t * input_dim_;
+
+    for (std::size_t hh = 0; hh < h_dim; ++hh) {
+      const float d_o = dh[hh] * tct[hh];
+      const float d_c = dc[hh] + dh[hh] * go[hh] * (1.0f - tct[hh] * tct[hh]);
+      const float d_i = d_c * gg[hh];
+      const float d_g = d_c * gi[hh];
+      const float d_f = d_c * (c_prev != nullptr ? c_prev[hh] : 0.0f);
+      dc[hh] = d_c * gf[hh];  // flows to c_{t-1}
+
+      dz[hh] = d_i * gi[hh] * (1.0f - gi[hh]);
+      dz[h_dim + hh] = d_f * gf[hh] * (1.0f - gf[hh]);
+      dz[2 * h_dim + hh] = d_g * (1.0f - gg[hh] * gg[hh]);
+      dz[3 * h_dim + hh] = d_o * go[hh] * (1.0f - go[hh]);
+    }
+
+    // Parameter gradients: dWx += x_tᵀ·dz, dWh += h_{t-1}ᵀ·dz, db += dz.
+    float* dwx = dwx_.Data();
+    for (std::size_t d = 0; d < input_dim_; ++d) {
+      const float xv = xt[d];
+      if (xv == 0.0f) continue;
+      float* row = dwx + d * 4 * h_dim;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j) row[j] += xv * dz[j];
+    }
+    if (h_prev != nullptr) {
+      float* dwh = dwh_.Data();
+      for (std::size_t hh = 0; hh < h_dim; ++hh) {
+        const float hv = h_prev[hh];
+        if (hv == 0.0f) continue;
+        float* row = dwh + hh * 4 * h_dim;
+        for (std::size_t j = 0; j < 4 * h_dim; ++j) row[j] += hv * dz[j];
+      }
+    }
+    for (std::size_t j = 0; j < 4 * h_dim; ++j) db_[j] += dz[j];
+
+    // dx_t = dz · Wxᵀ ; dh_{t-1} = dz · Whᵀ.
+    float* dxt = dx.Data() + t * input_dim_;
+    const float* wx = wx_.Data();
+    for (std::size_t d = 0; d < input_dim_; ++d) {
+      const float* wrow = wx + d * 4 * h_dim;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < 4 * h_dim; ++j)
+        acc += static_cast<double>(dz[j]) * wrow[j];
+      dxt[d] = static_cast<float>(acc);
+    }
+    std::fill(dh.begin(), dh.end(), 0.0f);
+    if (t > 0) {
+      const float* wh = wh_.Data();
+      for (std::size_t hh = 0; hh < h_dim; ++hh) {
+        const float* wrow = wh + hh * 4 * h_dim;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < 4 * h_dim; ++j)
+          acc += static_cast<double>(dz[j]) * wrow[j];
+        dh[hh] = static_cast<float>(acc);
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace rna::nn

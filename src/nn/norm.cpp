@@ -1,0 +1,77 @@
+#include "rna/nn/norm.hpp"
+
+#include <cmath>
+
+#include "rna/common/check.hpp"
+
+namespace rna::nn {
+
+LayerNorm::LayerNorm(std::size_t dim, float epsilon)
+    : dim_(dim),
+      epsilon_(epsilon),
+      gain_({dim}),
+      bias_({dim}),
+      dgain_({dim}),
+      dbias_({dim}) {
+  gain_.Fill(1.0f);
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  RNA_CHECK_MSG(x.Cols() == dim_, "LayerNorm width mismatch");
+  const std::size_t rows = x.Rows();
+  normalized_ = Tensor({rows, dim_});
+  inv_std_.resize(rows);
+  Tensor y({rows, dim_});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = x.Data() + r * dim_;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) mean += row[i];
+    mean /= static_cast<double>(dim_);
+    double var = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim_);
+    const auto inv = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+    inv_std_[r] = inv;
+    float* nrow = normalized_.Data() + r * dim_;
+    float* yrow = y.Data() + r * dim_;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      nrow[i] = (row[i] - static_cast<float>(mean)) * inv;
+      yrow[i] = gain_[i] * nrow[i] + bias_[i];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& dy) {
+  const std::size_t rows = normalized_.Rows();
+  RNA_CHECK_MSG(dy.Rows() == rows && dy.Cols() == dim_,
+                "LayerNorm backward shape mismatch");
+  Tensor dx({rows, dim_});
+  const auto n = static_cast<float>(dim_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* dyrow = dy.Data() + r * dim_;
+    const float* nrow = normalized_.Data() + r * dim_;
+    float* dxrow = dx.Data() + r * dim_;
+    // dL/dn̂ = dy ⊙ γ; dx = (1/σ)(dn̂ − mean(dn̂) − n̂·mean(dn̂ ⊙ n̂)).
+    double sum_dn = 0.0, sum_dn_n = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float dn = dyrow[i] * gain_[i];
+      sum_dn += dn;
+      sum_dn_n += static_cast<double>(dn) * nrow[i];
+      dgain_[i] += dyrow[i] * nrow[i];
+      dbias_[i] += dyrow[i];
+    }
+    const auto mean_dn = static_cast<float>(sum_dn / n);
+    const auto mean_dn_n = static_cast<float>(sum_dn_n / n);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float dn = dyrow[i] * gain_[i];
+      dxrow[i] = inv_std_[r] * (dn - mean_dn - nrow[i] * mean_dn_n);
+    }
+  }
+  return dx;
+}
+
+}  // namespace rna::nn

@@ -1,0 +1,100 @@
+#pragma once
+
+// A ps-lite-style parameter server on the fabric: a server thread owning a
+// flat parameter vector, and client handles exposing Push / Pull / PushPull.
+// Requests from different clients are served independently in arrival
+// order, which is exactly the asynchronous-across-groups behaviour the
+// paper's hierarchical synchronization relies on (§4, §6): each group
+// initiator PushPulls its group model whenever it finishes a round, with no
+// cross-group barrier.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rna/net/fabric.hpp"
+
+namespace rna::ps {
+
+using net::Rank;
+
+/// How a pushed vector is folded into the server state.
+enum class ApplyMode : std::int64_t {
+  kAssign = 0,   ///< state = x
+  kAddDelta = 1, ///< state += x            (gradient-push style)
+  kAverage = 2,  ///< state = (state + x)/2 (model averaging, paper §6)
+};
+
+/// Message tags used on the server endpoint; replies are delivered to the
+/// client's endpoint with kReply.
+struct PsTags {
+  static constexpr int kRequest = 9000;
+  static constexpr int kReply = 9001;
+};
+
+class ParameterServer {
+ public:
+  /// The server owns fabric endpoint `rank` and a state vector of `dim`
+  /// floats (initialized from `initial`).
+  ParameterServer(net::Fabric& fabric, Rank rank,
+                  std::vector<float> initial);
+  ~ParameterServer();
+
+  ParameterServer(const ParameterServer&) = delete;
+  ParameterServer& operator=(const ParameterServer&) = delete;
+
+  void Start();
+  /// Stops the server thread (idempotent). The fabric must still be alive.
+  void Stop();
+
+  Rank ServerRank() const { return rank_; }
+  std::uint64_t RequestsServed() const { return requests_served_.load(); }
+
+  /// Snapshot of the state, for tests.
+  std::vector<float> Snapshot() const;
+
+ private:
+  void ServeLoop();
+
+  net::Fabric& fabric_;
+  Rank rank_;
+  mutable std::mutex state_mu_;
+  std::vector<float> state_;
+  std::int64_t version_ = 0;
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Client handle bound to one fabric endpoint.
+class PsClient {
+ public:
+  PsClient(net::Fabric& fabric, Rank self, Rank server)
+      : fabric_(&fabric), self_(self), server_(server) {}
+
+  /// Fold `values` into the server state; no reply payload.
+  void Push(std::span<const float> values, ApplyMode mode);
+
+  /// Fetch the current server state.
+  std::vector<float> Pull();
+
+  /// Atomically fold `values` in and return the post-update state — the
+  /// PSPushPull() of the paper's hierarchical synchronization.
+  std::vector<float> PushPull(std::span<const float> values, ApplyMode mode);
+
+  /// Server-side version observed by the last Pull/PushPull.
+  std::int64_t LastVersion() const { return last_version_; }
+
+ private:
+  std::vector<float> Call(std::span<const float> values, ApplyMode mode,
+                          bool want_reply);
+
+  net::Fabric* fabric_;
+  Rank self_;
+  Rank server_;
+  std::int64_t last_version_ = 0;
+};
+
+}  // namespace rna::ps

@@ -1,0 +1,123 @@
+#include "rna/ps/server.hpp"
+
+#include "rna/common/check.hpp"
+
+namespace rna::ps {
+
+namespace {
+
+// meta layout for requests: [0]=ApplyMode, [1]=want_reply, [2]=has_payload
+// meta layout for replies:  [0]=version
+constexpr std::size_t kMetaMode = 0;
+constexpr std::size_t kMetaWantReply = 1;
+constexpr std::size_t kMetaHasPayload = 2;
+
+// Mode sentinel carried by the self-addressed stop poke; real requests in
+// flight ahead of it are still served.
+constexpr std::int64_t kStopSentinel = -1;
+
+}  // namespace
+
+ParameterServer::ParameterServer(net::Fabric& fabric, Rank rank,
+                                 std::vector<float> initial)
+    : fabric_(fabric), rank_(rank), state_(std::move(initial)) {}
+
+ParameterServer::~ParameterServer() { Stop(); }
+
+void ParameterServer::Start() {
+  RNA_CHECK_MSG(!thread_.joinable(), "server already started");
+  stop_.store(false);
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+void ParameterServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true);
+  // A self-addressed stop poke: the server drains requests already queued
+  // ahead of it, then exits when the poke is reached.
+  net::Message poke;
+  poke.tag = PsTags::kRequest;
+  poke.meta = {kStopSentinel, 0, 0};
+  fabric_.Send(rank_, rank_, std::move(poke));
+  thread_.join();
+}
+
+std::vector<float> ParameterServer::Snapshot() const {
+  std::scoped_lock lock(state_mu_);
+  return state_;
+}
+
+void ParameterServer::ServeLoop() {
+  for (;;) {
+    auto req = fabric_.Recv(rank_, PsTags::kRequest);
+    if (!req.has_value()) return;  // fabric shut down
+    RNA_CHECK_MSG(req->meta.size() >= 3, "malformed PS request");
+    if (req->meta[kMetaMode] == kStopSentinel) return;
+    const auto mode = static_cast<ApplyMode>(req->meta[kMetaMode]);
+    const bool want_reply = req->meta[kMetaWantReply] != 0;
+    const bool has_payload = req->meta[kMetaHasPayload] != 0;
+
+    net::Message reply;
+    reply.tag = PsTags::kReply;
+    {
+      std::scoped_lock lock(state_mu_);
+      if (has_payload) {
+        RNA_CHECK_MSG(req->data.size() == state_.size(),
+                      "PS payload dimension mismatch");
+        switch (mode) {
+          case ApplyMode::kAssign:
+            state_ = req->data;
+            break;
+          case ApplyMode::kAddDelta:
+            for (std::size_t i = 0; i < state_.size(); ++i)
+              state_[i] += req->data[i];
+            break;
+          case ApplyMode::kAverage:
+            for (std::size_t i = 0; i < state_.size(); ++i)
+              state_[i] = 0.5f * (state_[i] + req->data[i]);
+            break;
+        }
+        ++version_;
+      }
+      if (want_reply) {
+        reply.meta = {version_};
+        reply.data = state_;
+      }
+    }
+    requests_served_.fetch_add(1);
+    if (want_reply) fabric_.Send(rank_, req->src, std::move(reply));
+  }
+}
+
+std::vector<float> PsClient::Call(std::span<const float> values,
+                                  ApplyMode mode, bool want_reply) {
+  net::Message req;
+  req.tag = PsTags::kRequest;
+  req.meta = {static_cast<std::int64_t>(mode), want_reply ? 1 : 0,
+              values.empty() ? 0 : 1};
+  req.data.assign(values.begin(), values.end());
+  fabric_->Send(self_, server_, std::move(req));
+  if (!want_reply) return {};
+  auto reply = fabric_->Recv(self_, PsTags::kReply);
+  RNA_CHECK_MSG(reply.has_value(), "fabric shut down during PS call");
+  RNA_CHECK_MSG(!reply->meta.empty(), "malformed PS reply");
+  last_version_ = reply->meta[0];
+  return std::move(reply->data);
+}
+
+void PsClient::Push(std::span<const float> values, ApplyMode mode) {
+  RNA_CHECK_MSG(!values.empty(), "Push requires a payload");
+  Call(values, mode, /*want_reply=*/false);
+}
+
+std::vector<float> PsClient::Pull() {
+  return Call({}, ApplyMode::kAssign, /*want_reply=*/true);
+}
+
+std::vector<float> PsClient::PushPull(std::span<const float> values,
+                                      ApplyMode mode) {
+  RNA_CHECK_MSG(!values.empty(), "PushPull requires a payload");
+  return Call(values, mode, /*want_reply=*/true);
+}
+
+}  // namespace rna::ps

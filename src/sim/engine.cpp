@@ -1,0 +1,38 @@
+#include "rna/sim/engine.hpp"
+
+#include "rna/common/check.hpp"
+
+namespace rna::sim {
+
+void Engine::Schedule(Seconds delay, EventFn fn) {
+  RNA_CHECK_MSG(delay >= 0.0, "cannot schedule into the past");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Engine::ScheduleAt(Seconds when, EventFn fn) {
+  RNA_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Engine::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so the
+  // handler may schedule new events safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Engine::Run() {
+  while (Step()) {
+  }
+}
+
+void Engine::RunUntil(Seconds deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) Step();
+  if (deadline > now_) now_ = deadline;
+}
+
+}  // namespace rna::sim

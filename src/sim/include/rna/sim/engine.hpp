@@ -1,0 +1,62 @@
+#pragma once
+
+// A minimal deterministic discrete-event simulation engine. Events fire in
+// (time, insertion-order) order, so runs with a fixed seed are bit
+// reproducible. Used for the cluster-scale experiments where wall-clock
+// execution would be prohibitive (Figures 9 and 10) and for the AD-PSGD
+// gossip timing model.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+
+namespace rna::sim {
+
+using common::Seconds;
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Schedules `fn` to run `delay` seconds from the current virtual time.
+  void Schedule(Seconds delay, EventFn fn);
+
+  /// Schedules at an absolute virtual time (must be >= Now()).
+  void ScheduleAt(Seconds when, EventFn fn);
+
+  Seconds Now() const { return now_; }
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until the queue drains.
+  void Run();
+
+  /// Runs events with time <= `deadline`; the clock ends at
+  /// min(deadline, last event time).
+  void RunUntil(Seconds deadline);
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace rna::sim

@@ -1,0 +1,106 @@
+#pragma once
+
+// Per-iteration compute-time models. These reproduce the heterogeneity
+// sources the paper studies:
+//  * dynamic system heterogeneity — random injected slowdowns, as in the
+//    paper's evaluation setup (§8.1: U(0, 50 ms) per process per iteration);
+//  * mixed/deterministic heterogeneity — a consistently slower machine
+//    group (§8.1: group B gets an extra U(50, 100 ms));
+//  * inherent load imbalance — a clamped log-normal batch-time distribution
+//    calibrated to the LSTM-on-UCF101 measurements of Figure 2(b)
+//    (mean 1219 ms, stddev 760 ms, range [156 ms, 8 s]).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+#include "rna/common/rng.hpp"
+
+namespace rna::sim {
+
+using common::Seconds;
+
+class IterationTimeModel {
+ public:
+  virtual ~IterationTimeModel() = default;
+
+  /// Compute time for `worker`'s `iteration`-th mini-batch.
+  virtual Seconds Sample(std::size_t worker, std::size_t iteration,
+                         common::Rng& rng) const = 0;
+};
+
+/// base + U(delay_lo, delay_hi) — the paper's dynamic-heterogeneity setting.
+class UniformSlowdownModel : public IterationTimeModel {
+ public:
+  UniformSlowdownModel(Seconds base, Seconds delay_lo, Seconds delay_hi);
+  Seconds Sample(std::size_t worker, std::size_t iteration,
+                 common::Rng& rng) const override;
+
+ private:
+  Seconds base_, lo_, hi_;
+};
+
+/// Fixed per-worker extra delay on top of a common base — the Figure 1
+/// motivation setup (workers slowed by 0 / 10 / 40 ms).
+class DeterministicSkewModel : public IterationTimeModel {
+ public:
+  DeterministicSkewModel(Seconds base, std::vector<Seconds> extra_per_worker);
+  Seconds Sample(std::size_t worker, std::size_t iteration,
+                 common::Rng& rng) const override;
+
+ private:
+  Seconds base_;
+  std::vector<Seconds> extra_;
+};
+
+/// Two-population cluster: every worker gets base + U(0, fast_hi); workers
+/// in the slow set additionally get U(slow_lo, slow_hi) — the paper's
+/// "mixed heterogeneity" (§8.1).
+class MixedGroupModel : public IterationTimeModel {
+ public:
+  MixedGroupModel(Seconds base, Seconds fast_hi, Seconds slow_lo,
+                  Seconds slow_hi, std::vector<bool> is_slow);
+  Seconds Sample(std::size_t worker, std::size_t iteration,
+                 common::Rng& rng) const override;
+
+  bool IsSlow(std::size_t worker) const { return is_slow_.at(worker); }
+
+ private:
+  Seconds base_, fast_hi_, slow_lo_, slow_hi_;
+  std::vector<bool> is_slow_;
+};
+
+/// Mixed-hardware cluster (Table 2: K80 / 1080Ti / 2080Ti): worker w's
+/// iteration costs base·multiplier[w] plus a uniform jitter — deterministic
+/// tier spread with dynamic noise on top, the paper's baseline testbed.
+class TieredJitterModel : public IterationTimeModel {
+ public:
+  TieredJitterModel(Seconds base, std::vector<double> multipliers,
+                    Seconds jitter_lo, Seconds jitter_hi);
+  Seconds Sample(std::size_t worker, std::size_t iteration,
+                 common::Rng& rng) const override;
+
+ private:
+  Seconds base_;
+  std::vector<double> multipliers_;
+  Seconds jitter_lo_, jitter_hi_;
+};
+
+/// Clamped log-normal — inherent load imbalance from variable-length
+/// inputs (Figure 2(b)).
+class LongTailModel : public IterationTimeModel {
+ public:
+  LongTailModel(Seconds mean, Seconds stddev, Seconds min_t, Seconds max_t);
+  Seconds Sample(std::size_t worker, std::size_t iteration,
+                 common::Rng& rng) const override;
+
+  /// The paper's measured LSTM batch-time distribution, scaled by `scale`
+  /// (scale=1 reproduces Figure 2(b) magnitudes).
+  static LongTailModel LstmUcf101(double scale = 1.0);
+
+ private:
+  Seconds mean_, stddev_, min_, max_;
+};
+
+}  // namespace rna::sim

@@ -1,0 +1,90 @@
+#include "rna/sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rna/common/check.hpp"
+
+namespace rna::sim {
+
+UniformSlowdownModel::UniformSlowdownModel(Seconds base, Seconds delay_lo,
+                                           Seconds delay_hi)
+    : base_(base), lo_(delay_lo), hi_(delay_hi) {
+  RNA_CHECK(base >= 0.0 && delay_lo >= 0.0 && delay_hi >= delay_lo);
+}
+
+Seconds UniformSlowdownModel::Sample(std::size_t /*worker*/,
+                                     std::size_t /*iteration*/,
+                                     common::Rng& rng) const {
+  return base_ + rng.Uniform(lo_, hi_);
+}
+
+DeterministicSkewModel::DeterministicSkewModel(
+    Seconds base, std::vector<Seconds> extra_per_worker)
+    : base_(base), extra_(std::move(extra_per_worker)) {
+  RNA_CHECK(base >= 0.0);
+}
+
+Seconds DeterministicSkewModel::Sample(std::size_t worker,
+                                       std::size_t /*iteration*/,
+                                       common::Rng& /*rng*/) const {
+  RNA_CHECK_MSG(worker < extra_.size(), "worker outside skew table");
+  return base_ + extra_[worker];
+}
+
+MixedGroupModel::MixedGroupModel(Seconds base, Seconds fast_hi,
+                                 Seconds slow_lo, Seconds slow_hi,
+                                 std::vector<bool> is_slow)
+    : base_(base),
+      fast_hi_(fast_hi),
+      slow_lo_(slow_lo),
+      slow_hi_(slow_hi),
+      is_slow_(std::move(is_slow)) {
+  RNA_CHECK(base >= 0.0 && fast_hi >= 0.0 && slow_hi >= slow_lo);
+}
+
+Seconds MixedGroupModel::Sample(std::size_t worker, std::size_t /*iteration*/,
+                                common::Rng& rng) const {
+  RNA_CHECK_MSG(worker < is_slow_.size(), "worker outside group table");
+  Seconds t = base_ + rng.Uniform(0.0, fast_hi_);
+  if (is_slow_[worker]) t += rng.Uniform(slow_lo_, slow_hi_);
+  return t;
+}
+
+TieredJitterModel::TieredJitterModel(Seconds base,
+                                     std::vector<double> multipliers,
+                                     Seconds jitter_lo, Seconds jitter_hi)
+    : base_(base),
+      multipliers_(std::move(multipliers)),
+      jitter_lo_(jitter_lo),
+      jitter_hi_(jitter_hi) {
+  RNA_CHECK(base > 0.0 && jitter_lo >= 0.0 && jitter_hi >= jitter_lo);
+  for (double m : multipliers_) RNA_CHECK(m > 0.0);
+}
+
+Seconds TieredJitterModel::Sample(std::size_t worker, std::size_t /*iteration*/,
+                                  common::Rng& rng) const {
+  RNA_CHECK_MSG(worker < multipliers_.size(), "worker outside tier table");
+  return base_ * multipliers_[worker] + rng.Uniform(jitter_lo_, jitter_hi_);
+}
+
+LongTailModel::LongTailModel(Seconds mean, Seconds stddev, Seconds min_t,
+                             Seconds max_t)
+    : mean_(mean), stddev_(stddev), min_(min_t), max_(max_t) {
+  RNA_CHECK(mean > 0.0 && stddev > 0.0 && min_t > 0.0 && max_t > min_t);
+}
+
+Seconds LongTailModel::Sample(std::size_t /*worker*/, std::size_t /*iteration*/,
+                              common::Rng& rng) const {
+  const double ratio = stddev_ / mean_;
+  const double sigma2 = std::log(1.0 + ratio * ratio);
+  const double mu = std::log(mean_) - 0.5 * sigma2;
+  return std::clamp(rng.LogNormal(mu, std::sqrt(sigma2)), min_, max_);
+}
+
+LongTailModel LongTailModel::LstmUcf101(double scale) {
+  return LongTailModel(1.219 * scale, 0.760 * scale, 0.156 * scale,
+                       8.0 * scale);
+}
+
+}  // namespace rna::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+// A minimal dense float tensor: contiguous row-major storage with a dynamic
+// shape. This is the data type flowing through the from-scratch neural
+// network library and, flattened, through the collectives.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rna::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  /// Builds a tensor from existing data; data.size() must match the shape.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  const std::vector<std::size_t>& Shape() const { return shape_; }
+  std::size_t Rank() const { return shape_.size(); }
+  std::size_t Size() const { return data_.size(); }
+  bool Empty() const { return data_.empty(); }
+
+  /// Dimensions for the common 2-D (rows × cols) case. A rank-1 tensor is
+  /// treated as a single row.
+  std::size_t Rows() const;
+  std::size_t Cols() const;
+
+  float* Data() { return data_.data(); }
+  const float* Data() const { return data_.data(); }
+  std::span<float> Flat() { return data_; }
+  std::span<const float> Flat() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D element access with bounds checking in debug builds.
+  float& At(std::size_t r, std::size_t c);
+  float At(std::size_t r, std::size_t c) const;
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  /// Reshape preserving the element count.
+  void Reshape(std::vector<std::size_t> shape);
+
+  /// Sum of all elements / squared L2 norm — used by tests and invariants.
+  double Sum() const;
+  double SquaredNorm() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace rna::tensor

@@ -1,0 +1,161 @@
+#include "rna/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rna/common/check.hpp"
+
+namespace rna::tensor {
+
+namespace {
+
+void CheckMatMulShapes(std::size_t am, std::size_t ak, std::size_t bk,
+                       std::size_t bn, const Tensor& c) {
+  RNA_CHECK_MSG(ak == bk, "inner dimensions must match");
+  RNA_CHECK_MSG(c.Rows() == am && c.Cols() == bn,
+                "output shape does not match");
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+            float beta) {
+  const std::size_t m = a.Rows(), k = a.Cols(), n = b.Cols();
+  CheckMatMulShapes(m, k, b.Rows(), n, c);
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* pc = c.Data();
+  // i-k-j loop order keeps B and C accesses sequential.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = pa + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulNT(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+              float beta) {
+  // C(m×n) = A(m×k) · Bᵀ, where B is stored n×k.
+  const std::size_t m = a.Rows(), k = a.Cols(), n = b.Rows();
+  RNA_CHECK_MSG(b.Cols() == k, "inner dimensions must match");
+  RNA_CHECK_MSG(c.Rows() == m && c.Cols() == n, "output shape does not match");
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* pc = c.Data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+      crow[j] = alpha * static_cast<float>(acc) +
+                (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void MatMulTN(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+              float beta) {
+  // C(m×n) = Aᵀ · B, where A is stored k×m and B is stored k×n.
+  const std::size_t k = a.Rows(), m = a.Cols(), n = b.Cols();
+  RNA_CHECK_MSG(b.Rows() == k, "inner dimensions must match");
+  RNA_CHECK_MSG(c.Rows() == m && c.Cols() == n, "output shape does not match");
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* pc = c.Data();
+  if (beta == 0.0f) {
+    c.Zero();
+  } else if (beta != 1.0f) {
+    for (auto& x : c.Flat()) x *= beta;
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  RNA_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void Add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  RNA_CHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void Hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  RNA_CHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  RNA_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+void AddRowBroadcast(Tensor& matrix, std::span<const float> row) {
+  RNA_CHECK(matrix.Cols() == row.size());
+  const std::size_t rows = matrix.Rows(), cols = matrix.Cols();
+  float* p = matrix.Data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* mrow = p + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) mrow[j] += row[j];
+  }
+}
+
+void SumRows(const Tensor& matrix, std::span<float> out) {
+  RNA_CHECK(matrix.Cols() == out.size());
+  std::fill(out.begin(), out.end(), 0.0f);
+  const std::size_t rows = matrix.Rows(), cols = matrix.Cols();
+  const float* p = matrix.Data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* mrow = p + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) out[j] += mrow[j];
+  }
+}
+
+void SoftmaxRows(Tensor& logits) {
+  const std::size_t rows = logits.Rows(), cols = logits.Cols();
+  float* p = logits.Data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = p + i * cols;
+    float peak = row[0];
+    for (std::size_t j = 1; j < cols; ++j) peak = std::max(peak, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - peak);
+      sum += row[j];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace rna::tensor

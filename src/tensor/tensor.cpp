@@ -1,0 +1,85 @@
+#include "rna/tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "rna/common/check.hpp"
+
+namespace rna::tensor {
+
+namespace {
+
+std::size_t ElementCount(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(ElementCount(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  RNA_CHECK_MSG(data_.size() == ElementCount(shape_),
+                "data size does not match shape");
+}
+
+std::size_t Tensor::Rows() const {
+  if (shape_.empty()) return 0;
+  if (shape_.size() == 1) return 1;
+  return shape_[0];
+}
+
+std::size_t Tensor::Cols() const {
+  if (shape_.empty()) return 0;
+  if (shape_.size() == 1) return shape_[0];
+  // Collapse trailing dimensions: (d0, d1, ..., dn) -> d0 × (d1·...·dn).
+  std::size_t c = 1;
+  for (std::size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
+  return c;
+}
+
+float& Tensor::At(std::size_t r, std::size_t c) {
+  RNA_CHECK(r < Rows() && c < Cols());
+  return data_[r * Cols() + c];
+}
+
+float Tensor::At(std::size_t r, std::size_t c) const {
+  RNA_CHECK(r < Rows() && c < Cols());
+  return data_[r * Cols() + c];
+}
+
+void Tensor::Fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::Reshape(std::vector<std::size_t> shape) {
+  RNA_CHECK_MSG(ElementCount(shape) == data_.size(),
+                "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+double Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return s;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace rna::tensor

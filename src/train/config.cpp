@@ -1,0 +1,25 @@
+#include "rna/train/config.hpp"
+
+namespace rna::train {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kHorovod:
+      return "horovod";
+    case Protocol::kEagerSgd:
+      return "eager-sgd";
+    case Protocol::kAdPsgd:
+      return "ad-psgd";
+    case Protocol::kRna:
+      return "rna";
+    case Protocol::kRnaHierarchical:
+      return "rna-h";
+    case Protocol::kSgp:
+      return "sgp";
+    case Protocol::kCentralizedPs:
+      return "async-ps";
+  }
+  return "?";
+}
+
+}  // namespace rna::train

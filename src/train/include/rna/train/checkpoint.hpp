@@ -1,0 +1,31 @@
+#pragma once
+
+// Binary checkpointing of training state: the flat parameter vector, the
+// optimizer's momentum buffer, and the round counter. Lets a downstream
+// user stop a long job and resume it, and lets experiments snapshot models
+// for offline evaluation. Format: magic, version, dim, round, params[],
+// velocity[] (little-endian floats).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rna::train {
+
+struct Checkpoint {
+  std::vector<float> params;
+  std::vector<float> velocity;
+  std::uint64_t round = 0;
+};
+
+/// Writes atomically (temp file + rename). Throws std::runtime_error on
+/// I/O failure.
+void SaveCheckpoint(const std::string& path, std::span<const float> params,
+                    std::span<const float> velocity, std::uint64_t round);
+
+/// Throws std::runtime_error on missing/corrupt files (bad magic, size
+/// mismatch, truncation).
+Checkpoint LoadCheckpoint(const std::string& path);
+
+}  // namespace rna::train

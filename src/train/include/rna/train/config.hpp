@@ -1,0 +1,118 @@
+#pragma once
+
+// Configuration shared by every synchronization protocol's training run.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "rna/data/dataset.hpp"
+#include "rna/nn/network.hpp"
+#include "rna/nn/optimizer.hpp"
+#include "rna/sim/workload.hpp"
+
+namespace rna::train {
+
+/// Which synchronization protocol drives the run.
+enum class Protocol {
+  kHorovod,          ///< BSP ring allreduce with coordinator negotiation
+  kEagerSgd,         ///< majority-triggered partial collective
+  kAdPsgd,           ///< asynchronous randomized pairwise averaging
+  kRna,              ///< the paper's contribution (flat)
+  kRnaHierarchical,  ///< RNA within speed groups + PS across groups (§4)
+  kSgp,              ///< stochastic gradient push (PushSum gossip, §9)
+  kCentralizedPs,    ///< classic asynchronous parameter server (§2.2)
+};
+
+const char* ProtocolName(Protocol p);
+
+/// How locally buffered cross-iteration gradients are combined before the
+/// collective (§3.3 uses the staleness-weighted average; §6's text mentions
+/// plain summation — both are provided, plus latest-only, for ablation).
+enum class LocalCombine {
+  kWeightedAverage,  ///< g' = Σ(t−(k−τ)+1)·g_t / Σ(t−(k−τ)+1)
+  kMean,             ///< unweighted mean of the buffered gradients
+  kLatest,           ///< newest gradient only
+};
+
+/// What a worker whose gradient is not ready contributes to a triggered
+/// partial collective.
+enum class ContributionMode {
+  /// RNA (§3.3): contribute a null gradient; the reduced sum is re-weighted
+  /// by W = 1/Σw and the learning rate follows LrScalePolicy.
+  kNullAndReweight,
+  /// eager-SGD: re-contribute the previously sent gradient (stale), keep
+  /// full averaging over N with no re-weighting — the staleness that costs
+  /// eager-SGD accuracy in the paper's comparison.
+  kStaleReuse,
+};
+
+/// Learning-rate adjustment when only m of N workers contribute
+/// (Linear Scaling Rule, §3.3).
+enum class LrScalePolicy {
+  kLinear,    ///< γ_k = γ · m/N — effective batch shrinks, so does the step
+  kConstant,  ///< γ_k = γ regardless of participation (ablation)
+};
+
+/// Builds one replica of the model. Every worker calls it with the *same*
+/// seed so replicas start from identical parameters.
+using ModelFactory =
+    std::function<std::unique_ptr<nn::Network>(std::uint64_t seed)>;
+
+struct TrainerConfig {
+  Protocol protocol = Protocol::kRna;
+  std::size_t world = 4;
+  std::size_t batch_size = 16;
+  /// Sequence workloads use kLengthBucketed to reproduce the paper's
+  /// inherent load imbalance (per-batch compute ∝ sequence length).
+  data::SamplingMode sampling = data::SamplingMode::kUniform;
+  nn::SgdConfig sgd;
+
+  /// Step learning-rate schedule (§7.2: "decays to 0.1× on epochs
+  /// 30/60/80"): at each listed synchronization round the learning rate is
+  /// multiplied by lr_decay_factor, identically on every worker.
+  std::vector<std::size_t> lr_decay_rounds;
+  double lr_decay_factor = 0.1;
+
+  // Stopping: whichever fires first.
+  std::size_t max_rounds = 500;     ///< synchronization rounds
+  double target_loss = -1.0;        ///< stop when eval loss <= target (if >0)
+  std::size_t patience = 10;        ///< evals without improvement before stop
+  double eval_period_s = 0.05;      ///< wall-clock cadence of the monitor
+  std::size_t eval_samples = 256;   ///< validation subsample per eval
+
+  // Straggler injection: per-iteration extra sleep sampled from the model,
+  // multiplied by delay_scale (scale < 1 compresses the paper's
+  // millisecond delays so experiments finish quickly).
+  std::shared_ptr<const sim::IterationTimeModel> delay_model;
+  double delay_scale = 1.0;
+
+  // GPU-compute emulation for sequence workloads: after the (cheap, real)
+  // gradient computation the worker additionally sleeps
+  //   Σ_sequences (sleep_per_step·L + sleep_per_step_sq·L²)
+  // so per-batch "compute" time is genuinely proportional to the input
+  // lengths in the batch (linear for RNNs, quadratic for attention) at
+  // GPU-realistic magnitudes. Sleeps overlap across workers regardless of
+  // host core count, unlike raw CPU compute.
+  double sleep_per_step = 0.0;
+  double sleep_per_step_sq = 0.0;
+
+  // Partial-collective knobs.
+  std::size_t probe_choices = 2;
+  std::size_t staleness_bound = 4;
+  LocalCombine combine = LocalCombine::kWeightedAverage;
+  LrScalePolicy lr_policy = LrScalePolicy::kLinear;
+  ContributionMode contribution = ContributionMode::kNullAndReweight;
+
+  // Hierarchical synchronization: group calibration rounds (per-worker mean
+  // iteration time is measured over this many batches before grouping) and
+  // the cadence of the asynchronous PS averaging across groups (§6 leaves
+  // frequency tuning open; every round is the default).
+  std::size_t calibration_iters = 8;
+  std::size_t ps_sync_every = 1;
+
+  std::uint64_t seed = 42;
+  std::uint64_t model_seed = 7;
+};
+
+}  // namespace rna::train

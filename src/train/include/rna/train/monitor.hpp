@@ -1,0 +1,73 @@
+#pragma once
+
+// The evaluation monitor: runs on its own thread during training, samples
+// worker 0's published parameters, evaluates them on a validation
+// subsample, records the convergence curve, and raises the stop signal on
+// target-loss or early-stopping (Keras-style patience, as in the paper's
+// §8.1 EarlyStopping setup). Protocol implementations observe the stop
+// signal at safe points (see each protocol's stop protocol).
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rna/data/dataset.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/metrics.hpp"
+#include "rna/train/stage.hpp"
+
+namespace rna::train {
+
+/// Evaluates `params` on a dataset in bounded slices. `max_samples` > 0
+/// caps the evaluation to the first that many samples.
+nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
+                                const data::Dataset& dataset,
+                                std::size_t max_samples = 0);
+
+class EvalMonitor {
+ public:
+  EvalMonitor(const TrainerConfig& config, const ModelFactory& factory,
+              const data::Dataset& val_data);
+  ~EvalMonitor();
+
+  EvalMonitor(const EvalMonitor&) = delete;
+  EvalMonitor& operator=(const EvalMonitor&) = delete;
+
+  /// Starts the monitor thread watching `board`. `rounds_done` is the
+  /// protocol's round counter (for curve annotation); the monitor sets
+  /// `stop` when its stopping criteria fire.
+  void Start(const ParamBoard& board, std::atomic<bool>& stop,
+             const std::atomic<std::size_t>& rounds_done);
+
+  /// Signals the protocol has finished; joins the monitor thread.
+  void Finish();
+
+  const std::vector<CurvePoint>& Curve() const { return curve_; }
+  bool ReachedTarget() const { return reached_target_; }
+  bool EarlyStopped() const { return early_stopped_; }
+
+  /// Full-validation-set evaluation of the given parameters.
+  nn::BatchResult FullEval(std::span<const float> params);
+
+ private:
+  void Loop();
+  nn::BatchResult EvalSubsample(std::span<const float> params);
+
+  TrainerConfig config_;
+  std::unique_ptr<nn::Network> net_;
+  const data::Dataset* val_;
+  common::Rng rng_;
+
+  const ParamBoard* board_ = nullptr;
+  std::atomic<bool>* stop_ = nullptr;
+  const std::atomic<std::size_t>* rounds_ = nullptr;
+  std::atomic<bool> finished_{false};
+  std::thread thread_;
+
+  std::vector<CurvePoint> curve_;
+  bool reached_target_ = false;
+  bool early_stopped_ = false;
+};
+
+}  // namespace rna::train

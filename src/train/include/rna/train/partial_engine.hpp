@@ -1,0 +1,68 @@
+#pragma once
+
+// The partial-collective training engine (§3 of the paper, generalized):
+//
+//   * every worker runs a compute thread and a communication thread
+//     (cross-iteration training, Figure 4);
+//   * compute threads run mini-batches back-to-back against the newest
+//     published parameters, buffering gradients in a GradientStage and
+//     notifying the central controller ("instantaneous progress
+//     information", §3);
+//   * the controller decides *when to trigger* each synchronization round
+//     through a pluggable TriggerPolicy, then broadcasts an external
+//     activation forcing every communication thread into the partial ring
+//     allreduce — ready or not; absent workers contribute null gradients;
+//   * the reduced gradient is re-weighted by W = 1/Σw and applied with the
+//     Linear-Scaling-Rule learning rate on every worker identically, so
+//     replicas stay bit-identical.
+//
+// RNA's randomized power-of-two-choices election (rna::core) and
+// eager-SGD's majority rule (rna::baselines) are both TriggerPolicies; the
+// engine is also reused per group by hierarchical RNA.
+
+#include <functional>
+#include <memory>
+
+#include "rna/data/dataset.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/metrics.hpp"
+
+namespace rna::train {
+
+/// Decides when the controller fires the collective, given how many
+/// unreduced gradients each worker currently has buffered.
+class TriggerPolicy {
+ public:
+  virtual ~TriggerPolicy() = default;
+
+  /// Called once at the start of each round (e.g., to sample fresh probes).
+  virtual void BeginRound(std::size_t world, common::Rng& rng) = 0;
+
+  /// `ready_counts[w]` = buffered-gradient count of worker w (as known from
+  /// notifications). Return true to trigger the collective now.
+  virtual bool ShouldTrigger(const std::vector<std::int64_t>& ready_counts) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+using TriggerPolicyFactory = std::function<std::unique_ptr<TriggerPolicy>()>;
+
+/// eager-SGD's rule: fire once ⌊N/2⌋+1 workers have a gradient buffered.
+std::unique_ptr<TriggerPolicy> MakeMajorityPolicy();
+
+/// solo collective (eager-SGD's aggressive variant): fire on the first
+/// ready worker.
+std::unique_ptr<TriggerPolicy> MakeSoloPolicy();
+
+/// Wait for everyone (BSP-like trigger, but still cross-iteration) — used
+/// as an ablation.
+std::unique_ptr<TriggerPolicy> MakeFullPolicy();
+
+/// Runs a full training job under the partial-collective engine.
+TrainResult RunPartialCollective(const TrainerConfig& config,
+                                 const ModelFactory& factory,
+                                 const data::Dataset& train_data,
+                                 const data::Dataset& val_data,
+                                 const TriggerPolicyFactory& policy_factory);
+
+}  // namespace rna::train

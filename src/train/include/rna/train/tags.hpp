@@ -1,0 +1,31 @@
+#pragma once
+
+// Fabric tag allocation shared by all protocol implementations. Ring
+// collective tags alternate between two disjoint ranges by round parity so
+// a rank one round ahead can never collide with in-flight messages of the
+// previous round (relevant when a latency model reorders deliveries).
+
+namespace rna::train::tags {
+
+inline constexpr int kReady = 100;     ///< worker → controller: gradient buffered
+inline constexpr int kGo = 103;        ///< controller → worker: run round / exit
+inline constexpr int kRoundEnd = 105;  ///< worker → controller: round report
+inline constexpr int kBarrier = 300;   ///< Horovod negotiation barrier (+1 used)
+inline constexpr int kAvgReq = 400;    ///< AD-PSGD pairwise average request
+inline constexpr int kAvgRep = 401;    ///< AD-PSGD pairwise average reply
+inline constexpr int kGroupRing = 500; ///< hierarchical intra-group broadcast
+
+inline constexpr int kRingBase = 4096;
+inline constexpr int kRingStride = 4096;  ///< supports rings up to ~2000 ranks
+
+/// Tag base for the collective of `round` (parity-alternated).
+inline constexpr int RingTag(std::size_t round) {
+  return kRingBase + static_cast<int>(round % 2) * kRingStride;
+}
+
+/// Tag base for Horovod's negotiation barrier of `round`.
+inline constexpr int BarrierTag(std::size_t round) {
+  return kBarrier + static_cast<int>(round % 2) * 8;
+}
+
+}  // namespace rna::train::tags

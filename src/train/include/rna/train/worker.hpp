@@ -1,0 +1,76 @@
+#pragma once
+
+// Per-worker training state shared by every protocol implementation: the
+// model replica, the data shard and sampler, the optimizer, and the
+// straggler-injection machinery (per-iteration sleeps drawn from a
+// sim::IterationTimeModel, the same technique the paper uses to emulate
+// heterogeneity on its physical cluster).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+#include "rna/common/rng.hpp"
+#include "rna/data/dataset.hpp"
+#include "rna/nn/optimizer.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/metrics.hpp"
+
+namespace rna::train {
+
+class WorkerContext {
+ public:
+  WorkerContext(std::size_t rank, const TrainerConfig& config,
+                const ModelFactory& factory, const data::Dataset& train_data);
+
+  std::size_t Rank() const { return rank_; }
+  std::size_t Dim() const { return dim_; }
+  nn::Network& Net() { return *net_; }
+  nn::SgdMomentum& Optimizer() { return optimizer_; }
+  WorkerTimeBreakdown& Times() { return times_; }
+
+  /// Runs one mini-batch at `params`: sets the replica's parameters,
+  /// computes loss/gradient, sleeps the injected per-iteration delay, and
+  /// writes the flat gradient into `grad_out`. Updates the compute-time
+  /// account and the per-worker iteration counter.
+  nn::BatchResult ComputeGradient(std::span<const float> params,
+                                  std::span<float> grad_out);
+
+  /// Mini-batches computed so far.
+  std::size_t Iterations() const { return times_.iterations; }
+
+  /// Measures the mean iteration time over `iters` batches without
+  /// touching persistent state beyond the rng (used by the hierarchical
+  /// grouping calibration, §4).
+  common::Seconds MeasureIterationTime(std::span<const float> params,
+                                       std::size_t iters);
+
+ private:
+  common::Seconds SampleDelay();
+
+  std::size_t rank_;
+  std::unique_ptr<nn::Network> net_;
+  std::size_t dim_;
+  data::Dataset shard_;
+  data::BatchSampler sampler_;
+  nn::SgdMomentum optimizer_;
+  const sim::IterationTimeModel* delay_model_;
+  double delay_scale_;
+  double sleep_per_step_;
+  double sleep_per_step_sq_;
+  common::Rng delay_rng_;
+  WorkerTimeBreakdown times_;
+};
+
+/// Builds one context per rank; all replicas share config.model_seed so
+/// they start from identical parameters.
+std::vector<std::unique_ptr<WorkerContext>> MakeWorkers(
+    const TrainerConfig& config, const ModelFactory& factory,
+    const data::Dataset& train_data);
+
+/// Initial flat parameter vector of a fresh replica.
+std::vector<float> InitialParams(const TrainerConfig& config,
+                                 const ModelFactory& factory);
+
+}  // namespace rna::train

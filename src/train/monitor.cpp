@@ -1,0 +1,111 @@
+#include "rna/train/monitor.hpp"
+
+#include <limits>
+
+#include "rna/common/check.hpp"
+
+namespace rna::train {
+
+EvalMonitor::EvalMonitor(const TrainerConfig& config,
+                         const ModelFactory& factory,
+                         const data::Dataset& val_data)
+    : config_(config),
+      net_(factory(config.model_seed)),
+      val_(&val_data),
+      rng_(config.seed + 5000) {}
+
+EvalMonitor::~EvalMonitor() { Finish(); }
+
+void EvalMonitor::Start(const ParamBoard& board, std::atomic<bool>& stop,
+                        const std::atomic<std::size_t>& rounds_done) {
+  RNA_CHECK_MSG(!thread_.joinable(), "monitor already started");
+  board_ = &board;
+  stop_ = &stop;
+  rounds_ = &rounds_done;
+  finished_.store(false);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void EvalMonitor::Finish() {
+  if (!thread_.joinable()) return;
+  finished_.store(true);
+  thread_.join();
+}
+
+nn::BatchResult EvalMonitor::EvalSubsample(std::span<const float> params) {
+  net_->SetParamsFrom(params);
+  const std::size_t n = std::min(config_.eval_samples, val_->Size());
+  std::vector<std::size_t> indices(n);
+  for (auto& i : indices) i = rng_.UniformInt(val_->Size());
+  return net_->Evaluate(val_->MakeBatch(indices));
+}
+
+nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
+                                const data::Dataset& dataset,
+                                std::size_t max_samples) {
+  net.SetParamsFrom(params);
+  // Evaluate in slices to bound per-batch memory for sequence datasets.
+  nn::BatchResult total;
+  const std::size_t limit = max_samples > 0
+                                ? std::min(max_samples, dataset.Size())
+                                : dataset.Size();
+  const std::size_t slice = 512;
+  double loss_weighted = 0.0;
+  for (std::size_t start = 0; start < limit; start += slice) {
+    const std::size_t end = std::min(start + slice, limit);
+    std::vector<std::size_t> indices(end - start);
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = start + i;
+    nn::BatchResult r = net.Evaluate(dataset.MakeBatch(indices));
+    total.correct += r.correct;
+    total.total += r.total;
+    loss_weighted += r.loss * static_cast<double>(r.total);
+  }
+  total.loss = total.total ? loss_weighted / static_cast<double>(total.total)
+                           : 0.0;
+  return total;
+}
+
+nn::BatchResult EvalMonitor::FullEval(std::span<const float> params) {
+  return EvaluateDataset(*net_, params, *val_);
+}
+
+void EvalMonitor::Loop() {
+  const common::Stopwatch watch;
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::size_t evals_since_best = 0;
+  std::int64_t last_version = -1;
+
+  while (!finished_.load()) {
+    std::this_thread::sleep_for(common::FromSeconds(config_.eval_period_s));
+    if (finished_.load()) break;
+
+    std::vector<float> params;
+    const std::int64_t version = board_->ReadIfNewer(last_version, &params);
+    if (version <= last_version) continue;  // nothing new published yet
+    last_version = version;
+
+    const nn::BatchResult eval = EvalSubsample(params);
+    CurvePoint point;
+    point.time = watch.Elapsed();
+    point.round = rounds_->load();
+    point.loss = eval.loss;
+    point.accuracy = eval.Accuracy();
+    curve_.push_back(point);
+
+    if (config_.target_loss > 0.0 && eval.loss <= config_.target_loss) {
+      reached_target_ = true;
+      stop_->store(true);
+      return;
+    }
+    if (eval.loss < best_loss - 1e-4) {
+      best_loss = eval.loss;
+      evals_since_best = 0;
+    } else if (++evals_since_best >= config_.patience && config_.patience > 0) {
+      early_stopped_ = true;
+      stop_->store(true);
+      return;
+    }
+  }
+}
+
+}  // namespace rna::train

@@ -1,0 +1,305 @@
+#include "rna/train/partial_engine.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "rna/collectives/ring.hpp"
+#include "rna/common/check.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/stage.hpp"
+#include "rna/train/tags.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::train {
+
+namespace {
+
+class MajorityPolicy final : public TriggerPolicy {
+ public:
+  void BeginRound(std::size_t world, common::Rng&) override {
+    majority_ = world / 2 + 1;
+  }
+  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
+    std::size_t have = 0;
+    for (auto c : ready) {
+      if (c > 0) ++have;
+    }
+    return have >= majority_;
+  }
+  const char* Name() const override { return "majority"; }
+
+ private:
+  std::size_t majority_ = 1;
+};
+
+class SoloPolicy final : public TriggerPolicy {
+ public:
+  void BeginRound(std::size_t, common::Rng&) override {}
+  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
+    for (auto c : ready) {
+      if (c > 0) return true;
+    }
+    return false;
+  }
+  const char* Name() const override { return "solo"; }
+};
+
+class FullPolicy final : public TriggerPolicy {
+ public:
+  void BeginRound(std::size_t, common::Rng&) override {}
+  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
+    for (auto c : ready) {
+      if (c <= 0) return false;
+    }
+    return true;
+  }
+  const char* Name() const override { return "full"; }
+};
+
+}  // namespace
+
+std::unique_ptr<TriggerPolicy> MakeMajorityPolicy() {
+  return std::make_unique<MajorityPolicy>();
+}
+std::unique_ptr<TriggerPolicy> MakeSoloPolicy() {
+  return std::make_unique<SoloPolicy>();
+}
+std::unique_ptr<TriggerPolicy> MakeFullPolicy() {
+  return std::make_unique<FullPolicy>();
+}
+
+TrainResult RunPartialCollective(const TrainerConfig& config,
+                                 const ModelFactory& factory,
+                                 const data::Dataset& train_data,
+                                 const data::Dataset& val_data,
+                                 const TriggerPolicyFactory& policy_factory) {
+  const std::size_t world = config.world;
+  RNA_CHECK_MSG(world >= 1, "need at least one worker");
+  const net::Rank controller = world;  // endpoint layout: [workers..., ctrl]
+  net::Fabric fabric(world + 1);
+  const collectives::Group group = collectives::Group::Full(world);
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  std::vector<float> init = InitialParams(config, factory);
+
+  std::vector<std::unique_ptr<GradientStage>> stages;
+  for (std::size_t w = 0; w < world; ++w) {
+    stages.push_back(std::make_unique<GradientStage>(
+        dim, config.staleness_bound, config.combine));
+  }
+  ParamBoard board(init);  // worker 0's published view, watched by monitor
+
+  std::atomic<bool> stop{false};          // raised by the monitor
+  std::atomic<bool> global_stop{false};   // raised by controller / comm exit
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> batches_applied{0};
+  std::vector<std::size_t> round_contributors;  // controller-thread only
+
+  EvalMonitor monitor(config, factory, val_data);
+  monitor.Start(board, stop, rounds_done);
+
+  std::vector<WorkerTimeBreakdown> comm_times(world);
+  std::vector<std::vector<float>> final_params(world);
+
+  const common::Stopwatch wall;
+
+  // ---- communication threads -------------------------------------------
+  std::vector<std::thread> comm_threads;
+  comm_threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    comm_threads.emplace_back([&, w] {
+      std::vector<float> params = init;
+      nn::SgdMomentum& optimizer = workers[w]->Optimizer();
+      std::int64_t published = 0;
+      std::vector<float> buffer(dim);
+      // For ContributionMode::kStaleReuse: the gradient this worker last
+      // put into a collective, re-sent once while no fresh one is ready
+      // (re-sending indefinitely would apply the same stale direction every
+      // round and diverge; eager-SGD bounds the staleness).
+      std::vector<float> last_sent(dim, 0.0f);
+      bool last_sent_valid = false;
+      const bool stale_reuse =
+          config.contribution == ContributionMode::kStaleReuse;
+      for (;;) {
+        const common::Stopwatch idle;
+        auto go = fabric.Recv(w, tags::kGo);
+        comm_times[w].wait += idle.Elapsed();
+        if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
+        const auto round = static_cast<std::size_t>(go->meta[0]);
+
+        // Step LR schedule: every worker decays at the same round.
+        for (std::size_t milestone : config.lr_decay_rounds) {
+          if (milestone == round) {
+            optimizer.DecayLearningRate(config.lr_decay_factor);
+          }
+        }
+
+        auto drained = stages[w]->Drain();
+        const bool fresh = drained.has_value();
+        bool contributes = fresh;
+        if (fresh) {
+          buffer = std::move(drained->grad);
+          if (stale_reuse) {
+            last_sent = buffer;
+            last_sent_valid = true;
+          }
+        } else if (stale_reuse && last_sent_valid) {
+          buffer = last_sent;  // eager-SGD: repeat the stale gradient once
+          last_sent_valid = false;
+          contributes = true;
+        } else {
+          std::fill(buffer.begin(), buffer.end(), 0.0f);  // null gradient
+        }
+
+        const common::Stopwatch comm_watch;
+        const collectives::PartialResult reduced =
+            collectives::RingPartialAllreduce(fabric, group, w, buffer,
+                                              contributes,
+                                              tags::RingTag(round));
+        comm_times[w].comm += comm_watch.Elapsed();
+
+        if (reduced.contributors > 0) {
+          double scale = 1.0;
+          if (stale_reuse) {
+            // eager-SGD averages over the fixed world size N: absent
+            // workers dilute the update instead of re-weighting it.
+            scale = static_cast<double>(reduced.contributors) /
+                    static_cast<double>(world);
+          } else if (config.lr_policy == LrScalePolicy::kLinear) {
+            // RNA's Linear Scaling Rule: γ_k ∝ participating batch size.
+            scale = static_cast<double>(reduced.contributors) /
+                    static_cast<double>(world);
+          }
+          optimizer.Step(params, buffer, scale);
+        }
+        if (w == 0) board.Publish(params, ++published);
+
+        net::Message report;
+        report.tag = tags::kRoundEnd;
+        report.meta = {go->meta[0],
+                       fresh ? static_cast<std::int64_t>(drained->count) : 0};
+        fabric.Send(w, controller, std::move(report));
+      }
+      global_stop.store(true);
+      final_params[w] = std::move(params);
+    });
+  }
+
+  // ---- compute threads ---------------------------------------------------
+  std::vector<std::thread> compute_threads;
+  compute_threads.reserve(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    compute_threads.emplace_back([&, w] {
+      std::vector<float> params = init;
+      std::vector<float> grad(dim);
+      std::int64_t seen = 0;
+      // A private board per worker would be truer to the paper's per-worker
+      // ReadOp; worker 0's board doubles as the monitor view, so non-zero
+      // ranks read their own comm thread's params through the shared
+      // collective result — which is identical on all ranks. To keep ranks
+      // symmetric each compute thread re-reads from board (rank-0 view);
+      // since replicas are bit-identical this is exact.
+      while (!global_stop.load(std::memory_order_relaxed)) {
+        seen = board.ReadIfNewer(seen, &params);
+        workers[w]->ComputeGradient(params, grad);
+        const bool grew = stages[w]->Write(
+            grad, static_cast<std::int64_t>(workers[w]->Iterations()));
+        if (grew) {
+          // Notify only on backlog growth so the controller's readiness
+          // counts track the true buffered-gradient count.
+          net::Message ready;
+          ready.tag = tags::kReady;
+          fabric.Send(w, controller, std::move(ready));
+        }
+      }
+    });
+  }
+
+  // ---- controller ---------------------------------------------------------
+  std::thread controller_thread([&] {
+    common::Rng rng(config.seed + 9001);
+    std::unique_ptr<TriggerPolicy> policy = policy_factory();
+    std::vector<std::int64_t> ready(world, 0);
+
+    auto broadcast_go = [&](std::int64_t round, std::int64_t last) {
+      for (std::size_t w = 0; w < world; ++w) {
+        net::Message go;
+        go.tag = tags::kGo;
+        go.meta = {round, last};
+        fabric.Send(controller, w, std::move(go));
+      }
+    };
+
+    for (std::size_t round = 0;
+         round < config.max_rounds && !global_stop.load(); ++round) {
+      policy->BeginRound(world, rng);
+      while (!stop.load() && !global_stop.load()) {
+        // Drain the whole notification backlog each pass so the controller
+        // mailbox stays small even with very fast compute threads.
+        while (auto note = fabric.TryRecv(controller, tags::kReady)) {
+          ++ready[note->src];
+        }
+        if (policy->ShouldTrigger(ready)) break;
+        auto note = fabric.RecvFor(controller, tags::kReady, 0.002);
+        if (note.has_value()) ++ready[note->src];
+      }
+      if (stop.load() || global_stop.load()) break;
+
+      broadcast_go(static_cast<std::int64_t>(round), 0);
+      const int both[] = {tags::kRoundEnd, tags::kReady};
+      std::size_t contributors = 0;
+      for (std::size_t reports = 0; reports < world;) {
+        auto msg = fabric.RecvAny(controller, both);
+        if (!msg.has_value()) return;  // fabric shut down
+        if (msg->tag == tags::kReady) {
+          ++ready[msg->src];
+          continue;
+        }
+        ready[msg->src] -= msg->meta[1];
+        batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
+        if (msg->meta[1] > 0) ++contributors;
+        ++reports;
+      }
+      round_contributors.push_back(contributors);
+      rounds_done.fetch_add(1);
+    }
+    broadcast_go(-1, 1);  // exit signal: no collective, everyone leaves
+  });
+
+  controller_thread.join();
+  for (auto& t : comm_threads) t.join();
+  // comm exits flip global_stop; compute threads notice within an iteration.
+  for (auto& t : compute_threads) t.join();
+  const common::Seconds wall_s = wall.Elapsed();
+  monitor.Finish();
+
+  TrainResult result;
+  result.wall_seconds = wall_s;
+  result.rounds = rounds_done.load();
+  result.gradients_applied = batches_applied.load();
+  for (auto& stage : stages) result.gradients_dropped += stage->Dropped();
+  result.reached_target = monitor.ReachedTarget();
+  result.early_stopped = monitor.EarlyStopped();
+  result.curve = monitor.Curve();
+  result.round_contributors = std::move(round_contributors);
+
+  result.breakdown.resize(world);
+  for (std::size_t w = 0; w < world; ++w) {
+    result.breakdown[w] = workers[w]->Times();
+    result.breakdown[w].wait = comm_times[w].wait;
+    result.breakdown[w].comm = comm_times[w].comm;
+  }
+
+  result.final_params = final_params[0];
+  const nn::BatchResult final_eval = monitor.FullEval(final_params[0]);
+  result.final_loss = final_eval.loss;
+  result.final_accuracy = final_eval.Accuracy();
+  result.final_train_loss =
+      EvaluateDataset(workers[0]->Net(), final_params[0], train_data, 2048)
+          .loss;
+  return result;
+}
+
+}  // namespace rna::train

@@ -1,0 +1,93 @@
+#include "rna/train/worker.hpp"
+
+#include <thread>
+
+#include "rna/common/check.hpp"
+
+namespace rna::train {
+
+WorkerContext::WorkerContext(std::size_t rank, const TrainerConfig& config,
+                             const ModelFactory& factory,
+                             const data::Dataset& train_data)
+    : rank_(rank),
+      net_(factory(config.model_seed)),
+      dim_(net_->ParamCount()),
+      shard_(train_data.Shard(rank, config.world)),
+      sampler_(shard_, config.batch_size, config.seed + 1000 + 31 * rank,
+               config.sampling),
+      optimizer_(dim_, config.sgd),
+      delay_model_(config.delay_model.get()),
+      delay_scale_(config.delay_scale),
+      sleep_per_step_(config.sleep_per_step),
+      sleep_per_step_sq_(config.sleep_per_step_sq),
+      delay_rng_(config.seed + 2000 + 97 * rank) {}
+
+common::Seconds WorkerContext::SampleDelay() {
+  if (delay_model_ == nullptr) return 0.0;
+  return delay_model_->Sample(rank_, times_.iterations, delay_rng_) *
+         delay_scale_;
+}
+
+nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
+                                               std::span<float> grad_out) {
+  RNA_CHECK(params.size() == dim_ && grad_out.size() == dim_);
+  const common::Stopwatch watch;
+  net_->SetParamsFrom(params);
+  nn::Batch batch = sampler_.Next();
+  nn::BatchResult result = net_->ForwardBackward(batch);
+  net_->CopyGradsTo(grad_out);
+
+  common::Seconds delay = SampleDelay();
+  if (sleep_per_step_ > 0.0 || sleep_per_step_sq_ > 0.0) {
+    for (const auto& seq : batch.sequences) {
+      const auto steps = static_cast<double>(seq.Rows());
+      delay += sleep_per_step_ * steps + sleep_per_step_sq_ * steps * steps;
+    }
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(common::FromSeconds(delay));
+  }
+  times_.compute += watch.Elapsed();
+  ++times_.iterations;
+  return result;
+}
+
+common::Seconds WorkerContext::MeasureIterationTime(
+    std::span<const float> params, std::size_t iters) {
+  RNA_CHECK(iters > 0);
+  std::vector<float> scratch(dim_);
+  const common::Stopwatch watch;
+  const std::size_t before = times_.iterations;
+  common::Seconds compute_before = times_.compute;
+  for (std::size_t i = 0; i < iters; ++i) {
+    ComputeGradient(params, scratch);
+  }
+  const common::Seconds elapsed = watch.Elapsed();
+  // Calibration batches should not count toward training statistics.
+  times_.iterations = before;
+  times_.compute = compute_before;
+  return elapsed / static_cast<double>(iters);
+}
+
+std::vector<std::unique_ptr<WorkerContext>> MakeWorkers(
+    const TrainerConfig& config, const ModelFactory& factory,
+    const data::Dataset& train_data) {
+  RNA_CHECK_MSG(config.world >= 1, "world must be >= 1");
+  std::vector<std::unique_ptr<WorkerContext>> workers;
+  workers.reserve(config.world);
+  for (std::size_t r = 0; r < config.world; ++r) {
+    workers.push_back(
+        std::make_unique<WorkerContext>(r, config, factory, train_data));
+  }
+  return workers;
+}
+
+std::vector<float> InitialParams(const TrainerConfig& config,
+                                 const ModelFactory& factory) {
+  auto net = factory(config.model_seed);
+  std::vector<float> params(net->ParamCount());
+  net->CopyParamsTo(params);
+  return params;
+}
+
+}  // namespace rna::train

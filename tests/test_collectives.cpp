@@ -1,0 +1,230 @@
+// Tests for the ring collectives: correctness of allreduce across world
+// sizes and buffer sizes (including buffers smaller than the ring), the
+// partial allreduce's contributor weighting, broadcast, and barrier. Every
+// test launches real threads — the collectives are cooperative.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rna/collectives/ring.hpp"
+#include "rna/common/rng.hpp"
+
+namespace rna::collectives {
+namespace {
+
+/// Runs `body(rank)` on `world` threads and joins them.
+void OnAllRanks(std::size_t world,
+                const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] { body(r); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(Group, FullAndIndexOf) {
+  Group g = Group::Full(4);
+  EXPECT_EQ(g.Size(), 4u);
+  EXPECT_EQ(g.IndexOf(2), 2u);
+  Group sub;
+  sub.members = {5, 1, 3};
+  EXPECT_EQ(sub.IndexOf(3), 2u);
+  EXPECT_THROW(sub.IndexOf(7), std::logic_error);
+}
+
+TEST(RingAllreduce, SumsAcrossRanks) {
+  const std::size_t world = 4, n = 64;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n));
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[r][i] = static_cast<float>(r * 100 + i);
+    }
+  }
+  OnAllRanks(world, [&](std::size_t r) {
+    RingAllreduce(fabric, group, r, data[r], 1000);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Σ_w (w*100 + i) = 600 + 4i for world=4.
+      EXPECT_FLOAT_EQ(data[r][i], 600.0f + 4.0f * static_cast<float>(i));
+    }
+  }
+}
+
+TEST(RingAllreduce, SingleRankIsNoOp) {
+  net::Fabric fabric(1);
+  const Group group = Group::Full(1);
+  std::vector<float> data = {1.0f, 2.0f};
+  RingAllreduce(fabric, group, 0, data, 1000);
+  EXPECT_EQ(data[0], 1.0f);
+}
+
+TEST(RingAllreduce, IdenticalResultOnAllRanks) {
+  const std::size_t world = 5, n = 37;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  common::Rng rng(3);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n));
+  for (auto& v : data) {
+    for (auto& x : v) x = static_cast<float>(rng.Normal(0, 1));
+  }
+  OnAllRanks(world, [&](std::size_t r) {
+    RingAllreduce(fabric, group, r, data[r], 1000);
+  });
+  for (std::size_t r = 1; r < world; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bitwise identical — replicas must stay in lockstep.
+      EXPECT_EQ(data[r][i], data[0][i]);
+    }
+  }
+}
+
+TEST(RingAllreduce, SubgroupOfFabric) {
+  // A ring over a strict subset of endpoints (the hierarchical case).
+  net::Fabric fabric(6);
+  Group group;
+  group.members = {1, 3, 5};
+  std::vector<std::vector<float>> data(3, std::vector<float>(8, 1.0f));
+  OnAllRanks(3, [&](std::size_t idx) {
+    RingAllreduce(fabric, group, idx, data[idx], 1000);
+  });
+  for (const auto& v : data) {
+    for (float x : v) EXPECT_FLOAT_EQ(x, 3.0f);
+  }
+}
+
+TEST(RingAllreduce, BackToBackRoundsWithParityTags) {
+  const std::size_t world = 3, n = 16;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n, 1.0f));
+  OnAllRanks(world, [&](std::size_t r) {
+    for (std::size_t round = 0; round < 10; ++round) {
+      RingAllreduce(fabric, group, r, data[r],
+                    1000 + static_cast<int>(round % 2) * 100);
+    }
+  });
+  // Each round multiplies every element by world: 3^10.
+  for (float x : data[0]) EXPECT_FLOAT_EQ(x, std::pow(3.0f, 10.0f));
+}
+
+TEST(RingPartialAllreduce, AllContributeEqualsAverage) {
+  const std::size_t world = 4, n = 32;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n));
+  for (std::size_t r = 0; r < world; ++r) {
+    std::fill(data[r].begin(), data[r].end(), static_cast<float>(r + 1));
+  }
+  std::vector<PartialResult> results(world);
+  OnAllRanks(world, [&](std::size_t r) {
+    results[r] =
+        RingPartialAllreduce(fabric, group, r, data[r], true, 1000);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    EXPECT_EQ(results[r].contributors, 4u);
+    for (float x : data[r]) EXPECT_FLOAT_EQ(x, 2.5f);  // mean of 1..4
+  }
+}
+
+TEST(RingPartialAllreduce, PartialParticipationReweights) {
+  const std::size_t world = 4, n = 16;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n));
+  // Ranks 1 and 3 contribute 2.0 and 6.0; 0 and 2 are stragglers whose
+  // buffers hold garbage that must be ignored (nulled).
+  std::fill(data[1].begin(), data[1].end(), 2.0f);
+  std::fill(data[3].begin(), data[3].end(), 6.0f);
+  std::fill(data[0].begin(), data[0].end(), 999.0f);
+  std::fill(data[2].begin(), data[2].end(), -999.0f);
+  std::vector<PartialResult> results(world);
+  OnAllRanks(world, [&](std::size_t r) {
+    const bool contributes = (r == 1 || r == 3);
+    results[r] =
+        RingPartialAllreduce(fabric, group, r, data[r], contributes, 1000);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    EXPECT_EQ(results[r].contributors, 2u);
+    // W = 1/Σw = 1/2 → (2+6)/2 = 4.
+    for (float x : data[r]) EXPECT_FLOAT_EQ(x, 4.0f);
+  }
+}
+
+TEST(RingPartialAllreduce, NobodyContributesYieldsZeros) {
+  const std::size_t world = 3, n = 8;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n, 5.0f));
+  std::vector<PartialResult> results(world);
+  OnAllRanks(world, [&](std::size_t r) {
+    results[r] =
+        RingPartialAllreduce(fabric, group, r, data[r], false, 1000);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    EXPECT_EQ(results[r].contributors, 0u);
+    for (float x : data[r]) EXPECT_FLOAT_EQ(x, 0.0f);
+  }
+}
+
+TEST(Broadcast, RootValuePropagates) {
+  const std::size_t world = 5, n = 12;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n, 0.0f));
+  std::fill(data[2].begin(), data[2].end(), 7.5f);
+  OnAllRanks(world, [&](std::size_t r) {
+    Broadcast(fabric, group, r, 2, data[r], 500);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    for (float x : data[r]) EXPECT_FLOAT_EQ(x, 7.5f);
+  }
+}
+
+TEST(Barrier, AllRanksPass) {
+  const std::size_t world = 6;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::atomic<int> arrived{0};
+  OnAllRanks(world, [&](std::size_t r) {
+    arrived.fetch_add(1);
+    Barrier(fabric, group, r, 700);
+    // After the barrier everyone must have arrived.
+    EXPECT_EQ(arrived.load(), static_cast<int>(world));
+  });
+}
+
+// Property sweep: allreduce of all-ones equals `world` for a grid of
+// world sizes × buffer sizes, including buffers smaller than the ring
+// (empty chunks must still flow).
+class AllreduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllreduceSweep, OnesSumToWorld) {
+  const auto [world_i, n_i] = GetParam();
+  const auto world = static_cast<std::size_t>(world_i);
+  const auto n = static_cast<std::size_t>(n_i);
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n, 1.0f));
+  OnAllRanks(world, [&](std::size_t r) {
+    RingAllreduce(fabric, group, r, data[r], 1000);
+  });
+  for (std::size_t r = 0; r < world; ++r) {
+    for (float x : data[r]) {
+      ASSERT_FLOAT_EQ(x, static_cast<float>(world));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllreduceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 8),
+                       ::testing::Values(1, 2, 5, 64, 1001)));
+
+}  // namespace
+}  // namespace rna::collectives

@@ -1,0 +1,125 @@
+// Tests for tensor fusion: bucket planning properties and equivalence of
+// the fused allreduce with per-tensor reduction.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rna/collectives/fusion.hpp"
+#include "rna/common/rng.hpp"
+
+namespace rna::collectives {
+namespace {
+
+std::vector<TensorSpec> Specs(std::initializer_list<std::size_t> sizes) {
+  std::vector<TensorSpec> specs;
+  std::size_t i = 0;
+  for (std::size_t n : sizes) {
+    specs.push_back({"t" + std::to_string(i++), n});
+  }
+  return specs;
+}
+
+TEST(FusionPlan, PacksGreedilyWithinLimit) {
+  const auto specs = Specs({10, 20, 30, 40});
+  const FusionPlan plan = FusionPlan::Build(specs, 60);
+  // 10+20+30=60 fits; 40 starts a new bucket.
+  ASSERT_EQ(plan.BucketCount(), 2u);
+  EXPECT_EQ(plan.buckets[0].tensor_count, 3u);
+  EXPECT_EQ(plan.buckets[0].elements, 60u);
+  EXPECT_EQ(plan.buckets[1].first_tensor, 3u);
+  EXPECT_EQ(plan.buckets[1].elements, 40u);
+  EXPECT_EQ(plan.MaxBucketElements(), 60u);
+}
+
+TEST(FusionPlan, OversizedTensorGetsOwnBucket) {
+  const auto specs = Specs({5, 1000, 5});
+  const FusionPlan plan = FusionPlan::Build(specs, 100);
+  ASSERT_EQ(plan.BucketCount(), 3u);
+  EXPECT_EQ(plan.buckets[1].elements, 1000u);
+}
+
+TEST(FusionPlan, SingleBucketWhenEverythingFits) {
+  const auto specs = Specs({1, 2, 3});
+  const FusionPlan plan = FusionPlan::Build(specs, 1000);
+  ASSERT_EQ(plan.BucketCount(), 1u);
+  EXPECT_EQ(plan.buckets[0].tensor_count, 3u);
+}
+
+TEST(FusionPlan, EmptySpecList) {
+  const FusionPlan plan = FusionPlan::Build({}, 100);
+  EXPECT_EQ(plan.BucketCount(), 0u);
+  EXPECT_EQ(plan.MaxBucketElements(), 0u);
+}
+
+TEST(FusionPlan, CoversEveryTensorExactlyOnce) {
+  common::Rng rng(1);
+  std::vector<TensorSpec> specs;
+  for (int i = 0; i < 40; ++i) {
+    specs.push_back({"t", 1 + rng.UniformInt(50)});
+  }
+  const FusionPlan plan = FusionPlan::Build(specs, 64);
+  std::size_t covered = 0, elements = 0, expected_elements = 0;
+  for (const auto& s : specs) expected_elements += s.elements;
+  for (const auto& b : plan.buckets) {
+    EXPECT_EQ(b.first_tensor, covered);  // contiguous, ordered
+    covered += b.tensor_count;
+    elements += b.elements;
+  }
+  EXPECT_EQ(covered, specs.size());
+  EXPECT_EQ(elements, expected_elements);
+}
+
+class FusedAllreduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedAllreduceSweep, MatchesUnfusedSum) {
+  const auto max_bucket = static_cast<std::size_t>(GetParam());
+  const std::size_t world = 3;
+  const auto specs = Specs({7, 13, 1, 29, 5});
+  const FusionPlan plan = FusionPlan::Build(specs, max_bucket);
+
+  // Per-rank tensor values; expectation = elementwise sum across ranks.
+  common::Rng rng(42);
+  std::vector<std::vector<std::vector<float>>> data(world);
+  std::vector<std::vector<float>> expected;
+  for (const auto& spec : specs) {
+    expected.emplace_back(spec.elements, 0.0f);
+  }
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+      std::vector<float> values(specs[t].elements);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = static_cast<float>(rng.Normal(0, 1));
+        expected[t][i] += values[i];
+      }
+      data[r].push_back(std::move(values));
+    }
+  }
+
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float*> pointers;
+      for (auto& tensor : data[r]) pointers.push_back(tensor.data());
+      FusedAllreduce(fabric, group, r, specs, pointers, plan, 1000);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+      for (std::size_t i = 0; i < expected[t].size(); ++i) {
+        ASSERT_NEAR(data[r][t][i], expected[t][i], 1e-4f)
+            << "rank " << r << " tensor " << t << " index " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, FusedAllreduceSweep,
+                         ::testing::Values(1, 8, 20, 64, 1000));
+
+}  // namespace
+}  // namespace rna::collectives

@@ -1,0 +1,173 @@
+// Tests for the recursive ζ>v speed-grouping rule (§4) and the probe
+// trigger policy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rna/core/rna.hpp"
+
+namespace rna::core {
+namespace {
+
+std::size_t NumGroups(const std::vector<std::size_t>& group_of) {
+  return std::set<std::size_t>(group_of.begin(), group_of.end()).size();
+}
+
+TEST(Grouping, HomogeneousStaysTogether) {
+  // ζ = 0.02 ≤ v ≈ 0.11 → one group.
+  const auto g = ComputeSpeedGroups({0.10, 0.11, 0.12, 0.10});
+  EXPECT_EQ(NumGroups(g), 1u);
+}
+
+TEST(Grouping, BimodalSplitsInTwo) {
+  // Fast ≈ 0.05, slow ≈ 0.30: ζ = 0.25 > v ≈ 0.175 → split; each half is
+  // then homogeneous.
+  const auto g = ComputeSpeedGroups({0.05, 0.05, 0.30, 0.30});
+  EXPECT_EQ(NumGroups(g), 2u);
+  EXPECT_EQ(g[0], g[1]);
+  EXPECT_EQ(g[2], g[3]);
+  EXPECT_NE(g[0], g[2]);
+}
+
+TEST(Grouping, SingleWorker) {
+  const auto g = ComputeSpeedGroups({0.5});
+  EXPECT_EQ(g, (std::vector<std::size_t>{0}));
+}
+
+TEST(Grouping, RecursiveSplitOnThreeTiers) {
+  // Three well-separated tiers should produce at least two groups, and the
+  // extreme tiers must never share one.
+  const auto g =
+      ComputeSpeedGroups({0.01, 0.012, 0.2, 0.21, 3.0, 3.1});
+  EXPECT_GE(NumGroups(g), 2u);
+  EXPECT_NE(g[0], g[4]);
+  EXPECT_EQ(g[0], g[1]);
+  EXPECT_EQ(g[4], g[5]);
+}
+
+TEST(Grouping, GroupIdsAreContiguous) {
+  const auto g = ComputeSpeedGroups({0.05, 0.30, 0.05, 0.30, 5.0});
+  const std::size_t n = NumGroups(g);
+  for (auto id : g) EXPECT_LT(id, n);
+}
+
+TEST(Grouping, EmptyInputThrows) {
+  EXPECT_THROW(ComputeSpeedGroups({}), std::logic_error);
+}
+
+// Property: the recursion terminates exactly when ζ ≤ v inside a group, so
+// every produced group must satisfy it (or be a singleton).
+class GroupingFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupingFuzz, EveryGroupSatisfiesZetaLeqV) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.UniformInt(30);
+  std::vector<double> times(n);
+  for (auto& t : times) {
+    // Log-uniform over ~2.5 decades: exercises wide deterministic spreads.
+    t = 1e-3 * std::pow(10.0, rng.Uniform(0.0, 2.5));
+  }
+  const auto group_of = ComputeSpeedGroups(times);
+  ASSERT_EQ(group_of.size(), n);
+  const std::size_t groups = NumGroups(group_of);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double lo = 1e300, hi = -1e300, sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (group_of[w] != g) continue;
+      lo = std::min(lo, times[w]);
+      hi = std::max(hi, times[w]);
+      sum += times[w];
+      ++count;
+    }
+    ASSERT_GE(count, 1u);  // ids contiguous, no empty groups
+    if (count > 1) {
+      const double mean = sum / static_cast<double>(count);
+      EXPECT_LE(hi - lo, mean + 1e-12)
+          << "group " << g << " violates its own termination condition";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingFuzz, ::testing::Range(1, 30));
+
+TEST(ProbePolicy, TriggersOnlyWhenProbedWorkerReady) {
+  auto policy = MakeProbePolicy(2);
+  common::Rng rng(1);
+  policy->BeginRound(4, rng);
+  // Find the probed set by testing singleton readiness.
+  std::vector<std::int64_t> ready(4, 0);
+  std::size_t probed = 0;
+  for (std::size_t w = 0; w < 4; ++w) {
+    std::fill(ready.begin(), ready.end(), 0);
+    ready[w] = 1;
+    probed += policy->ShouldTrigger(ready) ? 1 : 0;
+  }
+  EXPECT_EQ(probed, 2u);  // exactly q workers can trigger
+}
+
+TEST(ProbePolicy, NeverTriggersOnEmptyReadySet) {
+  auto policy = MakeProbePolicy(3);
+  common::Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    policy->BeginRound(8, rng);
+    EXPECT_FALSE(policy->ShouldTrigger(std::vector<std::int64_t>(8, 0)));
+  }
+}
+
+TEST(ProbePolicy, ChoicesCappedAtWorld) {
+  auto policy = MakeProbePolicy(10);
+  common::Rng rng(3);
+  policy->BeginRound(2, rng);  // must not throw
+  std::vector<std::int64_t> ready = {1, 0};
+  EXPECT_TRUE(policy->ShouldTrigger(ready));
+}
+
+TEST(ProbePolicy, ResamplesEachRound) {
+  auto policy = MakeProbePolicy(1);
+  common::Rng rng(4);
+  std::set<std::size_t> chosen;
+  for (int round = 0; round < 64; ++round) {
+    policy->BeginRound(8, rng);
+    for (std::size_t w = 0; w < 8; ++w) {
+      std::vector<std::int64_t> ready(8, 0);
+      ready[w] = 1;
+      if (policy->ShouldTrigger(ready)) chosen.insert(w);
+    }
+  }
+  EXPECT_GT(chosen.size(), 4u);  // randomized election rotates initiators
+}
+
+TEST(TriggerPolicies, MajorityRule) {
+  auto policy = train::MakeMajorityPolicy();
+  common::Rng rng(5);
+  policy->BeginRound(5, rng);  // majority = 3
+  std::vector<std::int64_t> ready = {1, 1, 0, 0, 0};
+  EXPECT_FALSE(policy->ShouldTrigger(ready));
+  ready[2] = 2;
+  EXPECT_TRUE(policy->ShouldTrigger(ready));
+}
+
+TEST(TriggerPolicies, SoloRule) {
+  auto policy = train::MakeSoloPolicy();
+  common::Rng rng(6);
+  policy->BeginRound(4, rng);
+  std::vector<std::int64_t> ready(4, 0);
+  EXPECT_FALSE(policy->ShouldTrigger(ready));
+  ready[3] = 1;
+  EXPECT_TRUE(policy->ShouldTrigger(ready));
+}
+
+TEST(TriggerPolicies, FullRule) {
+  auto policy = train::MakeFullPolicy();
+  common::Rng rng(7);
+  policy->BeginRound(3, rng);
+  std::vector<std::int64_t> ready = {1, 1, 0};
+  EXPECT_FALSE(policy->ShouldTrigger(ready));
+  ready[2] = 1;
+  EXPECT_TRUE(policy->ShouldTrigger(ready));
+}
+
+}  // namespace
+}  // namespace rna::core

@@ -1,0 +1,391 @@
+// Unit and property tests for the from-scratch NN library. The core
+// correctness instrument is the central-difference gradient check: for each
+// model family, analytic backprop gradients must match numeric gradients of
+// the loss at randomly sampled parameter coordinates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "rna/common/rng.hpp"
+#include "rna/data/generators.hpp"
+#include "rna/nn/layer.hpp"
+#include "rna/nn/loss.hpp"
+#include "rna/nn/network.hpp"
+#include "rna/nn/optimizer.hpp"
+
+namespace rna::nn {
+namespace {
+
+using tensor::Tensor;
+
+Batch DenseBatch(std::size_t n, std::size_t dim, std::size_t classes,
+                 std::uint64_t seed) {
+  common::Rng rng(seed);
+  Batch b;
+  b.inputs = Tensor({n, dim});
+  for (auto& x : b.inputs.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    b.labels.push_back(static_cast<std::int32_t>(rng.UniformInt(classes)));
+  }
+  return b;
+}
+
+Batch SequenceBatch(std::size_t n, std::size_t dim, std::size_t classes,
+                    std::uint64_t seed) {
+  common::Rng rng(seed);
+  Batch b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = 3 + rng.UniformInt(5);
+    Tensor seq({len, dim});
+    for (auto& x : seq.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+    b.sequences.push_back(std::move(seq));
+    b.labels.push_back(static_cast<std::int32_t>(rng.UniformInt(classes)));
+  }
+  return b;
+}
+
+/// Central-difference gradient check at `probes` random coordinates.
+void CheckGradients(Network& net, const Batch& batch, std::size_t probes,
+                    std::uint64_t seed) {
+  const std::size_t dim = net.ParamCount();
+  std::vector<float> params(dim), grad(dim);
+  net.CopyParamsTo(params);
+  net.SetParamsFrom(params);
+  net.ForwardBackward(batch);
+  net.CopyGradsTo(grad);
+
+  common::Rng rng(seed);
+  const float eps = 5e-3f;
+  std::size_t outliers = 0;
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    const std::size_t i = rng.UniformInt(dim);
+    const float saved = params[i];
+    params[i] = saved + eps;
+    net.SetParamsFrom(params);
+    const double lp = net.Evaluate(batch).loss;
+    params[i] = saved - eps;
+    net.SetParamsFrom(params);
+    const double lm = net.Evaluate(batch).loss;
+    params[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double analytic = grad[i];
+    const double tol = 1e-2 + 5e-2 * std::max(std::abs(analytic),
+                                              std::abs(numeric));
+    // A perturbation can cross a ReLU kink, where the one-sided derivative
+    // legitimately disagrees with backprop; tolerate a few such probes.
+    if (std::abs(analytic - numeric) > tol) ++outliers;
+  }
+  EXPECT_LE(outliers, probes / 20 + 1)
+      << "too many analytic/numeric gradient mismatches";
+}
+
+TEST(Dense, ForwardKnownValues) {
+  common::Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite weights with known values.
+  auto params = layer.Params();
+  (*params[0]).At(0, 0) = 1.0f;
+  (*params[0]).At(0, 1) = 2.0f;
+  (*params[0]).At(1, 0) = 3.0f;
+  (*params[0]).At(1, 1) = 4.0f;
+  (*params[1])[0] = 0.5f;
+  (*params[1])[1] = -0.5f;
+  Tensor x({1, 2}, {1.0f, 1.0f});
+  Tensor y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y[0], 4.5f);   // 1+3+0.5
+  EXPECT_FLOAT_EQ(y[1], 5.5f);   // 2+4-0.5
+}
+
+TEST(Dense, BackwardShapes) {
+  common::Rng rng(2);
+  Dense layer(3, 5, rng);
+  Tensor x({4, 3});
+  layer.Forward(x);
+  Tensor dy({4, 5});
+  Tensor dx = layer.Backward(dy);
+  EXPECT_EQ(dx.Rows(), 4u);
+  EXPECT_EQ(dx.Cols(), 3u);
+}
+
+TEST(Activations, ReluMasksNegatives) {
+  Relu relu;
+  Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y = relu.Forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor dy({1, 4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor dx = relu.Backward(dy);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[2], 1.0f);
+}
+
+TEST(Activations, SigmoidRange) {
+  Sigmoid sig;
+  Tensor x({1, 3}, {-10.0f, 0.0f, 10.0f});
+  Tensor y = sig.Forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-4f);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5, 1);
+  drop.SetTraining(false);
+  Tensor x({1, 8}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor y = drop.Forward(x);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainModePreservesExpectation) {
+  Dropout drop(0.3, 2);
+  Tensor x({1, 1}, {1.0f});
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += drop.Forward(x)[0];
+  EXPECT_NEAR(sum / trials, 1.0, 0.03);  // inverted dropout keeps E[y]=x
+}
+
+TEST(Loss, SoftmaxCrossEntropyKnownValue) {
+  // Uniform logits over 4 classes → loss = ln 4.
+  Tensor logits({2, 4});
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+  // Gradient rows sum to zero (softmax minus one-hot).
+  for (std::size_t i = 0; i < 2; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < 4; ++j) s += r.dlogits.At(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 3}, {100.0f, 0.0f, 0.0f});
+  LossResult r = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-4);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(Loss, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, {5}), std::logic_error);
+}
+
+TEST(GradCheck, Mlp) {
+  MlpClassifier net({6, 16, 8, 3}, 11);
+  Batch batch = DenseBatch(5, 6, 3, 21);
+  CheckGradients(net, batch, 60, 31);
+}
+
+TEST(GradCheck, Lstm) {
+  LstmClassifier net(4, 8, 3, 12, /*dropout_rate=*/0.0);
+  Batch batch = SequenceBatch(3, 4, 3, 22);
+  CheckGradients(net, batch, 60, 32);
+}
+
+TEST(GradCheck, Attention) {
+  AttentionClassifier net(4, 6, 3, 13);
+  Batch batch = SequenceBatch(3, 4, 3, 23);
+  CheckGradients(net, batch, 60, 33);
+}
+
+TEST(GradCheck, DeepLstm) {
+  DeepLstmClassifier net(4, 6, 2, 3, 14);
+  Batch batch = SequenceBatch(3, 4, 3, 24);
+  CheckGradients(net, batch, 60, 34);
+}
+
+TEST(GradCheck, Transformer) {
+  TransformerClassifier net(4, 8, 2, 3, 15);
+  Batch batch = SequenceBatch(3, 4, 3, 25);
+  CheckGradients(net, batch, 80, 35);
+}
+
+TEST(LayerNormUnit, NormalizesRows) {
+  LayerNorm norm(4);
+  Tensor x({2, 4}, {1.0f, 2.0f, 3.0f, 4.0f, 10.0f, 10.0f, 10.0f, 10.0f});
+  Tensor y = norm.Forward(x);
+  // Row 0: zero mean, unit variance under the default γ=1, β=0.
+  double mean = 0, var = 0;
+  for (std::size_t i = 0; i < 4; ++i) mean += y.At(0, i);
+  mean /= 4;
+  for (std::size_t i = 0; i < 4; ++i) {
+    var += (y.At(0, i) - mean) * (y.At(0, i) - mean);
+  }
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var / 4, 1.0, 1e-3);
+  // Row 1 is constant → normalized to ~0 (epsilon guards the division).
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y.At(1, i), 0.0, 1e-3);
+}
+
+TEST(LayerNormUnit, GainBiasApplied) {
+  LayerNorm norm(2);
+  (*norm.Params()[0])[0] = 2.0f;  // γ₀
+  (*norm.Params()[1])[1] = 5.0f;  // β₁
+  Tensor x({1, 2}, {-1.0f, 1.0f});
+  Tensor y = norm.Forward(x);
+  EXPECT_NEAR(y[0], -2.0f, 1e-3);  // normalized −1 scaled by γ=2
+  EXPECT_NEAR(y[1], 6.0f, 1e-3);   // normalized +1 plus β=5
+}
+
+TEST(MultiHead, OutputConcatenatesHeads) {
+  common::Rng rng(3);
+  MultiHeadAttention mha(4, 3, 2, rng);
+  EXPECT_EQ(mha.OutDim(), 6u);
+  Tensor x({5, 4});
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  Tensor y = mha.Forward(x);
+  EXPECT_EQ(y.Rows(), 5u);
+  EXPECT_EQ(y.Cols(), 6u);
+  EXPECT_EQ(mha.Params().size(), 6u);  // Wq/Wk/Wv per head
+}
+
+TEST(StackedLstm, SequenceApiMatchesFinalState) {
+  common::Rng rng(4);
+  LstmLayer lstm(3, 5, rng);
+  Tensor x({7, 3});
+  for (auto& v : x.Flat()) v = static_cast<float>(rng.Normal(0, 1));
+  Tensor h_final = lstm.Forward(x);
+  Tensor h_all = lstm.ForwardSequence(x);
+  ASSERT_EQ(h_all.Rows(), 7u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(h_all.At(6, i), h_final[i]);
+  }
+}
+
+TEST(Adam, StepsTowardMinimum) {
+  // Minimize f(x) = (x − 3)², gradient 2(x − 3).
+  Adam opt(1, {.learning_rate = 0.1});
+  std::vector<float> x = {0.0f};
+  for (int i = 0; i < 400; ++i) {
+    const std::vector<float> grad = {2.0f * (x[0] - 3.0f)};
+    opt.Step(x, grad);
+  }
+  EXPECT_NEAR(x[0], 3.0f, 0.05f);
+  EXPECT_EQ(opt.StepsTaken(), 400u);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction the very first Adam step ≈ lr·sign(g).
+  Adam opt(1, {.learning_rate = 0.01});
+  std::vector<float> x = {0.0f};
+  opt.Step(x, std::vector<float>{5.0f});
+  EXPECT_NEAR(x[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, LrScaleApplies) {
+  Adam opt(1, {.learning_rate = 0.01});
+  std::vector<float> x = {0.0f};
+  opt.Step(x, std::vector<float>{5.0f}, 0.5);
+  EXPECT_NEAR(x[0], -0.005f, 1e-4f);
+}
+
+TEST(Network, ParamRoundTrip) {
+  MlpClassifier net({4, 8, 2}, 5);
+  const std::size_t dim = net.ParamCount();
+  EXPECT_EQ(dim, 4u * 8 + 8 + 8 * 2 + 2);
+  std::vector<float> params(dim);
+  net.CopyParamsTo(params);
+  std::vector<float> modified = params;
+  for (auto& p : modified) p += 1.0f;
+  net.SetParamsFrom(modified);
+  std::vector<float> readback(dim);
+  net.CopyParamsTo(readback);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_FLOAT_EQ(readback[i], params[i] + 1.0f);
+  }
+}
+
+TEST(Network, SameSeedSameParams) {
+  MlpClassifier a({5, 7, 2}, 99), b({5, 7, 2}, 99);
+  std::vector<float> pa(a.ParamCount()), pb(b.ParamCount());
+  a.CopyParamsTo(pa);
+  b.CopyParamsTo(pb);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Network, LstmParamCount) {
+  LstmClassifier net(8, 16, 4, 1);
+  // Wx: 8×64, Wh: 16×64, b: 64, head W: 16×4, head b: 4.
+  EXPECT_EQ(net.ParamCount(), 8u * 64 + 16 * 64 + 64 + 16 * 4 + 4);
+}
+
+TEST(Network, TrainingReducesLoss) {
+  // A few plain-SGD steps on a separable problem must reduce the loss.
+  data::Dataset ds = data::MakeGaussianClusters(256, 8, 3, 0.3, 77);
+  MlpClassifier net({8, 32, 3}, 7);
+  const std::size_t dim = net.ParamCount();
+  std::vector<float> params(dim), grad(dim);
+  net.CopyParamsTo(params);
+  SgdMomentum opt(dim, {.learning_rate = 0.2, .momentum = 0.9});
+
+  std::vector<std::size_t> all(ds.Size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Batch batch = ds.MakeBatch(all);
+
+  net.SetParamsFrom(params);
+  const double initial = net.Evaluate(batch).loss;
+  for (int step = 0; step < 60; ++step) {
+    net.SetParamsFrom(params);
+    net.ForwardBackward(batch);
+    net.CopyGradsTo(grad);
+    opt.Step(params, grad);
+  }
+  net.SetParamsFrom(params);
+  const auto after = net.Evaluate(batch);
+  EXPECT_LT(after.loss, initial * 0.5);
+  EXPECT_GT(after.Accuracy(), 0.8);
+}
+
+TEST(Optimizer, PlainSgdStep) {
+  SgdMomentum opt(2, {.learning_rate = 0.1, .momentum = 0.0});
+  std::vector<float> params = {1.0f, 2.0f};
+  const std::vector<float> grad = {1.0f, -1.0f};
+  opt.Step(params, grad);
+  EXPECT_FLOAT_EQ(params[0], 0.9f);
+  EXPECT_FLOAT_EQ(params[1], 2.1f);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  SgdMomentum opt(1, {.learning_rate = 1.0, .momentum = 0.5});
+  std::vector<float> params = {0.0f};
+  const std::vector<float> grad = {1.0f};
+  opt.Step(params, grad);  // v=1, p=-1
+  EXPECT_FLOAT_EQ(params[0], -1.0f);
+  opt.Step(params, grad);  // v=1.5, p=-2.5
+  EXPECT_FLOAT_EQ(params[0], -2.5f);
+}
+
+TEST(Optimizer, LrScaleShrinksStep) {
+  SgdMomentum opt(1, {.learning_rate = 1.0, .momentum = 0.0});
+  std::vector<float> params = {0.0f};
+  const std::vector<float> grad = {1.0f};
+  opt.Step(params, grad, 0.25);
+  EXPECT_FLOAT_EQ(params[0], -0.25f);
+}
+
+TEST(Optimizer, WeightDecayPullsTowardZero) {
+  SgdMomentum opt(1, {.learning_rate = 0.1, .momentum = 0.0,
+                      .weight_decay = 1.0});
+  std::vector<float> params = {10.0f};
+  const std::vector<float> grad = {0.0f};
+  opt.Step(params, grad);
+  EXPECT_FLOAT_EQ(params[0], 9.0f);
+}
+
+// Gradient-check sweep over MLP architectures.
+class MlpGradSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpGradSweep, GradientsMatch) {
+  const int hidden = GetParam();
+  MlpClassifier net({4, static_cast<std::size_t>(hidden), 2},
+                    1000 + hidden);
+  Batch batch = DenseBatch(4, 4, 2, 2000 + hidden);
+  CheckGradients(net, batch, 30, 3000 + hidden);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hidden, MlpGradSweep, ::testing::Values(1, 4, 16, 33));
+
+}  // namespace
+}  // namespace rna::nn

@@ -1,0 +1,140 @@
+// Tests for the ps-lite-style parameter server: apply modes, push/pull
+// round trips, versioning, concurrent clients, clean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rna/net/fabric.hpp"
+#include "rna/ps/server.hpp"
+
+namespace rna::ps {
+namespace {
+
+TEST(ParameterServer, PullReturnsInitialState) {
+  net::Fabric fabric(3);
+  ParameterServer server(fabric, 2, {1.0f, 2.0f, 3.0f});
+  server.Start();
+  PsClient client(fabric, 0, 2);
+  const auto state = client.Pull();
+  EXPECT_EQ(state, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  server.Stop();
+}
+
+TEST(ParameterServer, PushAssignReplacesState) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {0.0f, 0.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Push(std::vector<float>{5.0f, 6.0f}, ApplyMode::kAssign);
+  EXPECT_EQ(client.Pull(), (std::vector<float>{5.0f, 6.0f}));
+  server.Stop();
+}
+
+TEST(ParameterServer, PushAddDeltaAccumulates) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {1.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Push(std::vector<float>{2.0f}, ApplyMode::kAddDelta);
+  client.Push(std::vector<float>{3.0f}, ApplyMode::kAddDelta);
+  EXPECT_EQ(client.Pull(), (std::vector<float>{6.0f}));
+  server.Stop();
+}
+
+TEST(ParameterServer, PushPullAveragesAtomically) {
+  // The hierarchical path: group pushes its model, receives the running
+  // average.
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {0.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  const auto first = client.PushPull(std::vector<float>{8.0f},
+                                     ApplyMode::kAverage);
+  EXPECT_EQ(first, (std::vector<float>{4.0f}));  // (0+8)/2
+  const auto second = client.PushPull(std::vector<float>{4.0f},
+                                      ApplyMode::kAverage);
+  EXPECT_EQ(second, (std::vector<float>{4.0f}));  // (4+4)/2
+  server.Stop();
+}
+
+TEST(ParameterServer, VersionIncrementsOnWrites) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {0.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Pull();
+  EXPECT_EQ(client.LastVersion(), 0);
+  client.PushPull(std::vector<float>{1.0f}, ApplyMode::kAssign);
+  EXPECT_EQ(client.LastVersion(), 1);
+  client.PushPull(std::vector<float>{1.0f}, ApplyMode::kAssign);
+  EXPECT_EQ(client.LastVersion(), 2);
+  server.Stop();
+}
+
+TEST(ParameterServer, MixedModesCompose) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {2.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Push(std::vector<float>{4.0f}, ApplyMode::kAverage);   // (2+4)/2 = 3
+  client.Push(std::vector<float>{1.0f}, ApplyMode::kAddDelta);  // 4
+  EXPECT_EQ(client.PushPull(std::vector<float>{0.0f}, ApplyMode::kAverage),
+            (std::vector<float>{2.0f}));  // (4+0)/2
+  server.Stop();
+}
+
+TEST(ParameterServer, ConcurrentClientsAllServed) {
+  const std::size_t clients = 6;
+  net::Fabric fabric(clients + 1);
+  ParameterServer server(fabric, clients, std::vector<float>{0.0f});
+  server.Start();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PsClient client(fabric, c, clients);
+      for (int i = 0; i < 50; ++i) {
+        client.PushPull(std::vector<float>{1.0f}, ApplyMode::kAddDelta);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  PsClient reader(fabric, 0, clients);
+  EXPECT_EQ(reader.Pull()[0], 300.0f);  // 6 clients × 50 increments
+  EXPECT_GE(server.RequestsServed(), 301u);
+  server.Stop();
+}
+
+TEST(ParameterServer, SnapshotMatchesPull) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {1.5f, 2.5f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Push(std::vector<float>{1.0f, 1.0f}, ApplyMode::kAddDelta);
+  const auto pulled = client.Pull();  // serializes behind the Push
+  EXPECT_EQ(pulled, server.Snapshot());
+  server.Stop();
+}
+
+TEST(ParameterServer, StopIsIdempotent) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {0.0f});
+  server.Start();
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+}
+
+TEST(ParameterServer, RestartAfterStop) {
+  net::Fabric fabric(2);
+  ParameterServer server(fabric, 1, {0.0f});
+  server.Start();
+  PsClient client(fabric, 0, 1);
+  client.Push(std::vector<float>{3.0f}, ApplyMode::kAssign);
+  server.Stop();
+  server.Start();
+  EXPECT_EQ(client.Pull(), (std::vector<float>{3.0f}));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rna::ps

@@ -1,0 +1,229 @@
+// Unit tests for rna::tensor — tensor container semantics and the matmul /
+// elementwise kernels backpropagation depends on, checked against naive
+// reference implementations on random inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rna/common/rng.hpp"
+#include "rna/tensor/ops.hpp"
+#include "rna/tensor/tensor.hpp"
+
+namespace rna::tensor {
+namespace {
+
+Tensor RandomTensor(std::size_t r, std::size_t c, common::Rng& rng) {
+  Tensor t({r, c});
+  for (auto& x : t.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+  return t;
+}
+
+// Naive O(mnk) reference matmul.
+Tensor RefMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.Rows(), b.Cols()});
+  for (std::size_t i = 0; i < a.Rows(); ++i) {
+    for (std::size_t j = 0; j < b.Cols(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < a.Cols(); ++k) {
+        acc += double(a.At(i, k)) * b.At(k, j);
+      }
+      c.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor t({a.Cols(), a.Rows()});
+  for (std::size_t i = 0; i < a.Rows(); ++i) {
+    for (std::size_t j = 0; j < a.Cols(); ++j) t.At(j, i) = a.At(i, j);
+  }
+  return t;
+}
+
+void ExpectNear(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.Size(), 12u);
+  for (auto x : t.Flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.Rank(), 3u);
+  EXPECT_EQ(t.Rows(), 2u);
+  EXPECT_EQ(t.Cols(), 12u);  // trailing dims collapse
+  Tensor v({5});
+  EXPECT_EQ(v.Rows(), 1u);
+  EXPECT_EQ(v.Cols(), 5u);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t({2, 3});
+  t.At(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_THROW(t.At(2, 0), std::logic_error);
+  EXPECT_THROW(t.At(0, 3), std::logic_error);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f}), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t({2, 6});
+  t.Reshape({3, 4});
+  EXPECT_EQ(t.Rows(), 3u);
+  EXPECT_THROW(t.Reshape({5, 5}), std::logic_error);
+}
+
+TEST(Tensor, SumAndNorm) {
+  Tensor t({1, 3}, {1.0f, -2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(t.Sum(), 2.0);
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 14.0);
+}
+
+TEST(Ops, MatMulMatchesReference) {
+  common::Rng rng(1);
+  for (auto [m, k, n] : {std::tuple<int, int, int>{1, 1, 1},
+                         {3, 4, 5},
+                         {7, 2, 9},
+                         {16, 16, 16}}) {
+    Tensor a = RandomTensor(m, k, rng);
+    Tensor b = RandomTensor(k, n, rng);
+    Tensor c({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+    MatMul(a, b, c);
+    ExpectNear(c, RefMatMul(a, b));
+  }
+}
+
+TEST(Ops, MatMulAlphaBeta) {
+  common::Rng rng(2);
+  Tensor a = RandomTensor(3, 4, rng);
+  Tensor b = RandomTensor(4, 2, rng);
+  Tensor c = RandomTensor(3, 2, rng);
+  Tensor expected = c;
+  Tensor ab = RefMatMul(a, b);
+  for (std::size_t i = 0; i < expected.Size(); ++i) {
+    expected[i] = 2.0f * ab[i] + 0.5f * expected[i];
+  }
+  MatMul(a, b, c, 2.0f, 0.5f);
+  ExpectNear(c, expected);
+}
+
+TEST(Ops, MatMulNTMatchesTransposedReference) {
+  common::Rng rng(3);
+  Tensor a = RandomTensor(5, 7, rng);
+  Tensor b = RandomTensor(4, 7, rng);  // stored n×k
+  Tensor c({5, 4});
+  MatMulNT(a, b, c);
+  ExpectNear(c, RefMatMul(a, Transpose(b)));
+}
+
+TEST(Ops, MatMulTNMatchesTransposedReference) {
+  common::Rng rng(4);
+  Tensor a = RandomTensor(7, 5, rng);  // stored k×m
+  Tensor b = RandomTensor(7, 3, rng);
+  Tensor c({5, 3});
+  MatMulTN(a, b, c);
+  ExpectNear(c, RefMatMul(Transpose(a), b));
+}
+
+TEST(Ops, MatMulTNAccumulates) {
+  common::Rng rng(5);
+  Tensor a = RandomTensor(4, 3, rng);
+  Tensor b = RandomTensor(4, 2, rng);
+  Tensor c = RandomTensor(3, 2, rng);
+  Tensor expected = RefMatMul(Transpose(a), b);
+  for (std::size_t i = 0; i < expected.Size(); ++i) expected[i] += c[i];
+  MatMulTN(a, b, c, 1.0f, 1.0f);
+  ExpectNear(c, expected);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(MatMul(a, b, c), std::logic_error);
+}
+
+TEST(Ops, AxpyScaleDot) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  Axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[2], 36.0f);
+  Scale(y, 0.5f);
+  EXPECT_EQ(y[0], 6.0f);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 14.0);
+}
+
+TEST(Ops, AddAndHadamard) {
+  std::vector<float> a = {1, 2}, b = {3, 4}, out(2);
+  Add(a, b, out);
+  EXPECT_EQ(out[1], 6.0f);
+  Hadamard(a, b, out);
+  EXPECT_EQ(out[1], 8.0f);
+}
+
+TEST(Ops, AddRowBroadcastAndSumRows) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<float> row = {10, 20, 30};
+  AddRowBroadcast(m, row);
+  EXPECT_EQ(m.At(0, 0), 11.0f);
+  EXPECT_EQ(m.At(1, 2), 36.0f);
+  std::vector<float> sums(3);
+  SumRows(m, sums);
+  EXPECT_EQ(sums[0], 11.0f + 14.0f);
+  EXPECT_EQ(sums[2], 33.0f + 36.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  common::Rng rng(6);
+  Tensor t = RandomTensor(5, 8, rng);
+  SoftmaxRows(t);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      sum += t.At(i, j);
+      EXPECT_GE(t.At(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  Tensor t({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  SoftmaxRows(t);
+  EXPECT_FALSE(std::isnan(t[0]));
+  EXPECT_GT(t[2], t[1]);
+  EXPECT_GT(t[1], t[0]);
+  EXPECT_NEAR(t[0] + t[1] + t[2], 1.0f, 1e-5f);
+}
+
+// Property sweep: MatMul agrees with the reference over a grid of shapes.
+class MatMulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, AgreesWithReference) {
+  auto [m, k, n] = GetParam();
+  common::Rng rng(100 + m * 31 + k * 7 + n);
+  Tensor a = RandomTensor(m, k, rng);
+  Tensor b = RandomTensor(k, n, rng);
+  Tensor c({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  MatMul(a, b, c);
+  ExpectNear(c, RefMatMul(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MatMulShapes,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 17),
+                                            ::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4, 13)));
+
+}  // namespace
+}  // namespace rna::tensor

@@ -1,0 +1,197 @@
+// Unit tests for the training-harness building blocks: WorkerContext
+// (gradient computation, delay injection, calibration), the evaluation
+// monitor's stopping logic, and the configuration plumbing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rna/data/generators.hpp"
+#include "rna/train/monitor.hpp"
+#include "rna/train/worker.hpp"
+
+namespace rna::train {
+namespace {
+
+ModelFactory MlpFactory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{4, 8, 2}, seed);
+  };
+}
+
+TrainerConfig SmallConfig(std::size_t world = 2) {
+  TrainerConfig c;
+  c.world = world;
+  c.batch_size = 4;
+  c.seed = 5;
+  return c;
+}
+
+TEST(WorkerContext, ProducesGradientsAndCountsIterations) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 1);
+  const TrainerConfig config = SmallConfig();
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  const nn::BatchResult r = worker.ComputeGradient(params, grad);
+  EXPECT_EQ(r.total, 4u);
+  EXPECT_EQ(worker.Iterations(), 1u);
+  double norm = 0;
+  for (float g : grad) norm += static_cast<double>(g) * g;
+  EXPECT_GT(norm, 0.0);
+  EXPECT_GT(worker.Times().compute, 0.0);
+}
+
+TEST(WorkerContext, ShardsDifferAcrossRanks) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 2);
+  const TrainerConfig config = SmallConfig(2);
+  WorkerContext w0(0, config, MlpFactory(), ds);
+  WorkerContext w1(1, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> g0(w0.Dim()), g1(w1.Dim());
+  w0.ComputeGradient(params, g0);
+  w1.ComputeGradient(params, g1);
+  EXPECT_NE(g0, g1);  // different shards + different sampler seeds
+}
+
+TEST(WorkerContext, DelayInjectionAddsComputeTime) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 3);
+  TrainerConfig config = SmallConfig(1);
+  config.delay_model =
+      std::make_shared<sim::DeterministicSkewModel>(0.02, std::vector<double>{0.0});
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  const common::Stopwatch watch;
+  worker.ComputeGradient(params, grad);
+  EXPECT_GE(watch.Elapsed(), 0.018);
+}
+
+TEST(WorkerContext, DelayScaleCompresses) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 3);
+  TrainerConfig config = SmallConfig(1);
+  config.delay_model =
+      std::make_shared<sim::DeterministicSkewModel>(0.1, std::vector<double>{0.0});
+  config.delay_scale = 0.05;  // 100 ms → 5 ms
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  const common::Stopwatch watch;
+  worker.ComputeGradient(params, grad);
+  const double t = watch.Elapsed();
+  EXPECT_GE(t, 0.004);
+  EXPECT_LT(t, 0.06);
+}
+
+TEST(WorkerContext, SequenceSleepScalesWithLength) {
+  data::LengthModel lengths{.mean = 20, .stddev = 1, .min_len = 19,
+                            .max_len = 21};
+  data::Dataset ds = data::MakeSequenceDataset(32, 3, 2, lengths, 0.1, 4);
+  TrainerConfig config = SmallConfig(1);
+  config.batch_size = 4;
+  config.sleep_per_step = 250e-6;  // ≈ 4 seq × 20 steps × 0.25 ms = 20 ms
+  ModelFactory lstm = [](std::uint64_t seed) {
+    return std::make_unique<nn::LstmClassifier>(3, 4, 2, seed, 0.0);
+  };
+  WorkerContext worker(0, config, lstm, ds);
+  std::vector<float> params = InitialParams(config, lstm);
+  std::vector<float> grad(worker.Dim());
+  const common::Stopwatch watch;
+  worker.ComputeGradient(params, grad);
+  EXPECT_GE(watch.Elapsed(), 0.015);
+}
+
+TEST(WorkerContext, CalibrationDoesNotPolluteCounters) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 5);
+  const TrainerConfig config = SmallConfig(1);
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  const common::Seconds t = worker.MeasureIterationTime(params, 4);
+  EXPECT_GT(t, 0.0);
+  EXPECT_EQ(worker.Iterations(), 0u);
+  EXPECT_EQ(worker.Times().compute, 0.0);
+}
+
+TEST(InitialParams, MatchesFactorySeed) {
+  const TrainerConfig config = SmallConfig();
+  const std::vector<float> a = InitialParams(config, MlpFactory());
+  const std::vector<float> b = InitialParams(config, MlpFactory());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(EvalMonitor, RaisesStopOnTargetLoss) {
+  data::Dataset val = data::MakeGaussianClusters(64, 4, 2, 0.4, 6);
+  TrainerConfig config = SmallConfig(1);
+  config.target_loss = 100.0;  // any model beats this
+  config.eval_period_s = 0.005;
+
+  auto net = MlpFactory()(config.model_seed);
+  std::vector<float> params(net->ParamCount());
+  net->CopyParamsTo(params);
+
+  ParamBoard board(params);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> rounds{1};
+  EvalMonitor monitor(config, MlpFactory(), val);
+  monitor.Start(board, stop, rounds);
+  board.Publish(params, 1);  // give the monitor something new to evaluate
+  const common::Stopwatch watch;
+  while (!stop.load() && watch.Elapsed() < 2.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  monitor.Finish();
+  EXPECT_TRUE(stop.load());
+  EXPECT_TRUE(monitor.ReachedTarget());
+  ASSERT_FALSE(monitor.Curve().empty());
+  EXPECT_EQ(monitor.Curve().back().round, 1u);
+}
+
+TEST(EvalMonitor, EarlyStopsAfterPatience) {
+  data::Dataset val = data::MakeGaussianClusters(64, 4, 2, 0.4, 7);
+  TrainerConfig config = SmallConfig(1);
+  config.patience = 3;
+  config.eval_period_s = 0.003;
+
+  auto net = MlpFactory()(config.model_seed);
+  std::vector<float> params(net->ParamCount());
+  net->CopyParamsTo(params);
+
+  ParamBoard board(params);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> rounds{0};
+  EvalMonitor monitor(config, MlpFactory(), val);
+  monitor.Start(board, stop, rounds);
+  // Keep publishing the same parameters: loss never improves → patience.
+  const common::Stopwatch watch;
+  std::int64_t version = 0;
+  while (!stop.load() && watch.Elapsed() < 3.0) {
+    board.Publish(params, ++version);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  monitor.Finish();
+  EXPECT_TRUE(monitor.EarlyStopped());
+}
+
+TEST(EvaluateDataset, CapsSampleCount) {
+  data::Dataset ds = data::MakeGaussianClusters(100, 4, 2, 0.4, 8);
+  auto net = MlpFactory()(1);
+  std::vector<float> params(net->ParamCount());
+  net->CopyParamsTo(params);
+  const nn::BatchResult capped = EvaluateDataset(*net, params, ds, 10);
+  EXPECT_EQ(capped.total, 10u);
+  const nn::BatchResult full = EvaluateDataset(*net, params, ds);
+  EXPECT_EQ(full.total, 100u);
+}
+
+TEST(Config, ProtocolNamesAreStable) {
+  EXPECT_STREQ(ProtocolName(Protocol::kHorovod), "horovod");
+  EXPECT_STREQ(ProtocolName(Protocol::kRna), "rna");
+  EXPECT_STREQ(ProtocolName(Protocol::kRnaHierarchical), "rna-h");
+  EXPECT_STREQ(ProtocolName(Protocol::kSgp), "sgp");
+  EXPECT_STREQ(ProtocolName(Protocol::kCentralizedPs), "async-ps");
+}
+
+}  // namespace
+}  // namespace rna::train
