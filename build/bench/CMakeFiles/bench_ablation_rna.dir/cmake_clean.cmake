@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rna.dir/bench_ablation_rna.cpp.o"
+  "CMakeFiles/bench_ablation_rna.dir/bench_ablation_rna.cpp.o.d"
+  "bench_ablation_rna"
+  "bench_ablation_rna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_probes.dir/bench_fig10_probes.cpp.o"
+  "CMakeFiles/bench_fig10_probes.dir/bench_fig10_probes.cpp.o.d"
+  "bench_fig10_probes"
+  "bench_fig10_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_breakdown.cpp" "bench/CMakeFiles/bench_fig1_breakdown.dir/bench_fig1_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_breakdown.dir/bench_fig1_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/rna_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rna_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rna_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/rna_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/rna_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rna_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

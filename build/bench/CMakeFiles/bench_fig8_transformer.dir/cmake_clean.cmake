@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_transformer.dir/bench_fig8_transformer.cpp.o"
+  "CMakeFiles/bench_fig8_transformer.dir/bench_fig8_transformer.cpp.o.d"
+  "bench_fig8_transformer"
+  "bench_fig8_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_fabric.cpp" "bench/CMakeFiles/bench_micro_fabric.dir/bench_micro_fabric.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_fabric.dir/bench_micro_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collectives/CMakeFiles/rna_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/rna_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fabric.dir/bench_micro_fabric.cpp.o"
+  "CMakeFiles/bench_micro_fabric.dir/bench_micro_fabric.cpp.o.d"
+  "bench_micro_fabric"
+  "bench_micro_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem52.dir/bench_theorem52.cpp.o"
+  "CMakeFiles/bench_theorem52.dir/bench_theorem52.cpp.o.d"
+  "bench_theorem52"
+  "bench_theorem52.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem52.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

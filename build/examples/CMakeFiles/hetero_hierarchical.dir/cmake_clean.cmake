@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_hierarchical.dir/hetero_hierarchical.cpp.o"
+  "CMakeFiles/hetero_hierarchical.dir/hetero_hierarchical.cpp.o.d"
+  "hetero_hierarchical"
+  "hetero_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

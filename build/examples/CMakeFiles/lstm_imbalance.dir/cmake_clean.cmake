@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_imbalance.dir/lstm_imbalance.cpp.o"
+  "CMakeFiles/lstm_imbalance.dir/lstm_imbalance.cpp.o.d"
+  "lstm_imbalance"
+  "lstm_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

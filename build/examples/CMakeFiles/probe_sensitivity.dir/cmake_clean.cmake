@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_sensitivity.dir/probe_sensitivity.cpp.o"
+  "CMakeFiles/probe_sensitivity.dir/probe_sensitivity.cpp.o.d"
+  "probe_sensitivity"
+  "probe_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

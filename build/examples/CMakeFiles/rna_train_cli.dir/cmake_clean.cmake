@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_train_cli.dir/rna_train_cli.cpp.o"
+  "CMakeFiles/rna_train_cli.dir/rna_train_cli.cpp.o.d"
+  "rna_train_cli"
+  "rna_train_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_baselines.dir/adpsgd.cpp.o"
+  "CMakeFiles/rna_baselines.dir/adpsgd.cpp.o.d"
+  "CMakeFiles/rna_baselines.dir/eager.cpp.o"
+  "CMakeFiles/rna_baselines.dir/eager.cpp.o.d"
+  "CMakeFiles/rna_baselines.dir/horovod.cpp.o"
+  "CMakeFiles/rna_baselines.dir/horovod.cpp.o.d"
+  "CMakeFiles/rna_baselines.dir/psasync.cpp.o"
+  "CMakeFiles/rna_baselines.dir/psasync.cpp.o.d"
+  "CMakeFiles/rna_baselines.dir/sgp.cpp.o"
+  "CMakeFiles/rna_baselines.dir/sgp.cpp.o.d"
+  "librna_baselines.a"
+  "librna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_collectives.dir/fusion.cpp.o"
+  "CMakeFiles/rna_collectives.dir/fusion.cpp.o.d"
+  "CMakeFiles/rna_collectives.dir/ring.cpp.o"
+  "CMakeFiles/rna_collectives.dir/ring.cpp.o.d"
+  "librna_collectives.a"
+  "librna_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

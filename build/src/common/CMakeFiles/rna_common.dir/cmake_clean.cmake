@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_common.dir/flags.cpp.o"
+  "CMakeFiles/rna_common.dir/flags.cpp.o.d"
+  "CMakeFiles/rna_common.dir/log.cpp.o"
+  "CMakeFiles/rna_common.dir/log.cpp.o.d"
+  "CMakeFiles/rna_common.dir/stats.cpp.o"
+  "CMakeFiles/rna_common.dir/stats.cpp.o.d"
+  "librna_common.a"
+  "librna_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

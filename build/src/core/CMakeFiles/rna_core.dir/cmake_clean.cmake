@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_core.dir/grouping.cpp.o"
+  "CMakeFiles/rna_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/rna_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/rna_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/rna_core.dir/probe_policy.cpp.o"
+  "CMakeFiles/rna_core.dir/probe_policy.cpp.o.d"
+  "CMakeFiles/rna_core.dir/rna.cpp.o"
+  "CMakeFiles/rna_core.dir/rna.cpp.o.d"
+  "CMakeFiles/rna_core.dir/runner.cpp.o"
+  "CMakeFiles/rna_core.dir/runner.cpp.o.d"
+  "librna_core.a"
+  "librna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

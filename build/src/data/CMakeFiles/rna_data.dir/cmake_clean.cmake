@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_data.dir/dataset.cpp.o"
+  "CMakeFiles/rna_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/rna_data.dir/generators.cpp.o"
+  "CMakeFiles/rna_data.dir/generators.cpp.o.d"
+  "librna_data.a"
+  "librna_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

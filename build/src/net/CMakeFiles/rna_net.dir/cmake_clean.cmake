@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_net.dir/fabric.cpp.o"
+  "CMakeFiles/rna_net.dir/fabric.cpp.o.d"
+  "librna_net.a"
+  "librna_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/rna_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/rna_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/rna_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/rna_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/rna_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/rna_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/rna_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/rna_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/rna_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rna_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_nn.dir/attention.cpp.o"
+  "CMakeFiles/rna_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/init.cpp.o"
+  "CMakeFiles/rna_nn.dir/init.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/layer.cpp.o"
+  "CMakeFiles/rna_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/loss.cpp.o"
+  "CMakeFiles/rna_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/lstm.cpp.o"
+  "CMakeFiles/rna_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/network.cpp.o"
+  "CMakeFiles/rna_nn.dir/network.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/norm.cpp.o"
+  "CMakeFiles/rna_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/rna_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/rna_nn.dir/optimizer.cpp.o.d"
+  "librna_nn.a"
+  "librna_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

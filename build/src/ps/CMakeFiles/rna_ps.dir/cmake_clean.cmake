@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_ps.dir/server.cpp.o"
+  "CMakeFiles/rna_ps.dir/server.cpp.o.d"
+  "librna_ps.a"
+  "librna_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_sim.dir/engine.cpp.o"
+  "CMakeFiles/rna_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rna_sim.dir/protocols.cpp.o"
+  "CMakeFiles/rna_sim.dir/protocols.cpp.o.d"
+  "CMakeFiles/rna_sim.dir/workload.cpp.o"
+  "CMakeFiles/rna_sim.dir/workload.cpp.o.d"
+  "librna_sim.a"
+  "librna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

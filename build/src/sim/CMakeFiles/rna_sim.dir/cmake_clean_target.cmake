@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librna_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_tensor.dir/ops.cpp.o"
+  "CMakeFiles/rna_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/rna_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rna_tensor.dir/tensor.cpp.o.d"
+  "librna_tensor.a"
+  "librna_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/checkpoint.cpp" "src/train/CMakeFiles/rna_train.dir/checkpoint.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/train/config.cpp" "src/train/CMakeFiles/rna_train.dir/config.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/config.cpp.o.d"
+  "/root/repo/src/train/monitor.cpp" "src/train/CMakeFiles/rna_train.dir/monitor.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/monitor.cpp.o.d"
+  "/root/repo/src/train/partial_engine.cpp" "src/train/CMakeFiles/rna_train.dir/partial_engine.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/partial_engine.cpp.o.d"
+  "/root/repo/src/train/stage.cpp" "src/train/CMakeFiles/rna_train.dir/stage.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/stage.cpp.o.d"
+  "/root/repo/src/train/worker.cpp" "src/train/CMakeFiles/rna_train.dir/worker.cpp.o" "gcc" "src/train/CMakeFiles/rna_train.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rna_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/rna_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/rna_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rna_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

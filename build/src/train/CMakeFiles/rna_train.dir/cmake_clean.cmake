@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/rna_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/rna_train.dir/config.cpp.o"
+  "CMakeFiles/rna_train.dir/config.cpp.o.d"
+  "CMakeFiles/rna_train.dir/monitor.cpp.o"
+  "CMakeFiles/rna_train.dir/monitor.cpp.o.d"
+  "CMakeFiles/rna_train.dir/partial_engine.cpp.o"
+  "CMakeFiles/rna_train.dir/partial_engine.cpp.o.d"
+  "CMakeFiles/rna_train.dir/stage.cpp.o"
+  "CMakeFiles/rna_train.dir/stage.cpp.o.d"
+  "CMakeFiles/rna_train.dir/worker.cpp.o"
+  "CMakeFiles/rna_train.dir/worker.cpp.o.d"
+  "librna_train.a"
+  "librna_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

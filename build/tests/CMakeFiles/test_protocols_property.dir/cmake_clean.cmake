@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols_property.dir/test_protocols_property.cpp.o"
+  "CMakeFiles/test_protocols_property.dir/test_protocols_property.cpp.o.d"
+  "test_protocols_property"
+  "test_protocols_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
