@@ -1,9 +1,9 @@
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
+#include "rna/common/mutex.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/tensor/ops.hpp"
 #include "rna/train/monitor.hpp"
@@ -49,7 +49,7 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   // Each worker's model, guarded by its own mutex (the AD-PSGD atomicity
   // lock).
   std::vector<std::vector<float>> models(world, init);
-  std::vector<std::mutex> model_mu(world);
+  std::vector<common::Mutex> model_mu(world);
   std::vector<WorkerTimeBreakdown> wait_comm(world);
 
   const common::Stopwatch wall;
@@ -66,7 +66,7 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
         net::Message reply;
         reply.tag = tags::kAvgRep;
         {
-          std::scoped_lock lock(model_mu[w]);
+          common::MutexLock lock(model_mu[w]);
           RNA_CHECK(req->data.size() == dim);
           auto& mine = models[w];
           for (std::size_t i = 0; i < dim; ++i) {
@@ -93,7 +93,7 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
       for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
            ++iter) {
         {
-          std::scoped_lock lock(model_mu[w]);
+          common::MutexLock lock(model_mu[w]);
           local = models[w];
         }
         workers[w]->ComputeGradient(local, grad);
@@ -104,7 +104,7 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
         net::Message req;
         req.tag = tags::kAvgReq;
         {
-          std::scoped_lock lock(model_mu[w]);
+          common::MutexLock lock(model_mu[w]);
           req.data = models[w];
         }
         const common::Stopwatch wait_watch;
@@ -114,16 +114,22 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
         wait_comm[w].comm += wait_watch.Elapsed();
 
         {
-          std::scoped_lock lock(model_mu[w]);
+          common::MutexLock lock(model_mu[w]);
           auto& mine = models[w];
           // Adopt the averaged model, then apply the local gradient.
           for (std::size_t i = 0; i < dim; ++i) {
             mine[i] = rep->data[i] - lr * grad[i];
           }
+          // Publish while still holding model_mu[0]: a responder may fold a
+          // peer's gossip into models[0] at any moment. ParamBoard has its
+          // own internal mutex and is never held while taking a model lock,
+          // so the nesting cannot invert.
+          if (w == 0) {
+            board.Publish(mine, static_cast<std::int64_t>(iter) + 1);
+          }
         }
         gradients.fetch_add(1);
         if (w == 0) {
-          board.Publish(models[0], static_cast<std::int64_t>(iter) + 1);
           rounds_done.fetch_add(1);
         }
       }

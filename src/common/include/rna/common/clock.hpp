@@ -5,6 +5,7 @@
 // double seconds to keep arithmetic with workload models simple.
 
 #include <chrono>
+#include <thread>
 
 namespace rna::common {
 
@@ -21,6 +22,15 @@ inline Seconds ToSeconds(SteadyClock::duration d) {
 inline SteadyClock::duration FromSeconds(Seconds s) {
   return std::chrono::duration_cast<SteadyClock::duration>(
       std::chrono::duration<double>(s));
+}
+
+/// The project's sanctioned blocking sleep, used only to model real time
+/// passing (straggler injection in WorkerContext). Library code must not
+/// sleep for synchronization — wait on a CondVar instead so shutdown can
+/// interrupt the wait; tools/lint.py bans std::this_thread::sleep_for
+/// outside this header and tests.
+inline void SleepFor(Seconds s) {
+  if (s > 0.0) std::this_thread::sleep_for(FromSeconds(s));
 }
 
 /// Simple wall-clock stopwatch.

@@ -1,0 +1,103 @@
+#pragma once
+
+// The project's lock vocabulary: a Mutex/MutexLock/CondVar trio that wraps
+// the standard primitives with Clang capability annotations
+// (thread_annotations.hpp). Raw std::mutex is invisible to -Wthread-safety
+// — the analysis needs RNA_CAPABILITY on the lock type — so all library
+// code locks through these types; tools/lint.py bans std::mutex /
+// std::condition_variable outside this header.
+//
+// Condition waits deliberately have no predicate overloads: a predicate
+// lambda is analyzed as a separate unannotated function and would trip
+// -Wthread-safety on every guarded member it touches. Callers write the
+// standard `while (!condition) cv.Wait(mu);` loop instead, which keeps the
+// guarded reads inside the annotated function and handles spurious wakeups
+// identically.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "rna/common/thread_annotations.hpp"
+
+namespace rna::common {
+
+class RNA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RNA_ACQUIRE() { mu_.lock(); }
+  void Unlock() RNA_RELEASE() { mu_.unlock(); }
+  bool TryLock() RNA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling, so std::condition_variable_any (inside CondVar)
+  // can unlock/relock around its waits.
+  void lock() RNA_ACQUIRE() { mu_.lock(); }
+  void unlock() RNA_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII holder. Supports hand-over-hand sections via Unlock()/Lock(), e.g.
+/// dropping the lock to call out while iterating a guarded structure.
+class RNA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RNA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RNA_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RNA_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  void Lock() RNA_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to Mutex. All waits require the mutex held and
+/// hold it again on return (including timeouts and spurious wakeups).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(Mutex& mu) RNA_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Returns std::cv_status::timeout once `deadline` has passed; callers
+  /// re-check their condition either way.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::time_point<Clock, Duration> deadline)
+      RNA_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         std::chrono::duration<Rep, Period> timeout)
+      RNA_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rna::common

@@ -5,11 +5,13 @@
 // hand-off channel between each worker's compute and communication threads.
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "rna/common/clock.hpp"
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
 
 namespace rna::common {
 
@@ -24,35 +26,36 @@ class BlockingQueue {
   /// closed.
   bool Push(T item) {
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.Wait(mu_);
     return PopLocked();
   }
 
-  /// Like Pop but gives up after the timeout.
+  /// Like Pop but gives up after the timeout. Returns std::nullopt on
+  /// timeout and when the queue is (or becomes) closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = SteadyClock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
     }
-    return PopLocked();
+    return PopLocked();  // nullopt if still empty after timeout/close
   }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -63,36 +66,39 @@ class BlockingQueue {
   /// rejected, and blocked consumers wake up.
   void Close() {
     {
-      std::scoped_lock lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool Closed() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t Size() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
-  bool Empty() const { return Size() == 0; }
+  bool Empty() const {
+    MutexLock lock(mu_);
+    return items_.empty();
+  }
 
  private:
-  std::optional<T> PopLocked() {
+  std::optional<T> PopLocked() RNA_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ RNA_GUARDED_BY(mu_);
+  bool closed_ RNA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rna::common

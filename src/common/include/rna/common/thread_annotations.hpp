@@ -1,0 +1,80 @@
+#pragma once
+
+// Clang thread-safety (capability) analysis macros, in the style of
+// abseil's thread_annotations.h. Under Clang with -Wthread-safety these
+// expand to attributes that let the compiler prove, at compile time, that
+// every access to a RNA_GUARDED_BY member happens with the right lock held;
+// under other compilers they expand to nothing.
+//
+// The analysis only understands annotated lock types, so the project pairs
+// these macros with rna::common::Mutex / MutexLock / CondVar (mutex.hpp)
+// instead of raw std::mutex — tools/lint.py enforces that pairing.
+//
+// Annotation cheat-sheet:
+//   RNA_CAPABILITY("mutex")   — marks a class as a lockable capability
+//   RNA_SCOPED_CAPABILITY     — marks an RAII lock holder
+//   RNA_GUARDED_BY(mu)        — data member readable/writable only under mu
+//   RNA_PT_GUARDED_BY(mu)     — pointee guarded by mu (pointer itself free)
+//   RNA_REQUIRES(mu)          — caller must hold mu
+//   RNA_ACQUIRE(mu) / RNA_RELEASE(mu) — function takes / drops mu
+//   RNA_TRY_ACQUIRE(ok, mu)   — conditional acquisition, `ok` on success
+//   RNA_EXCLUDES(mu)          — caller must NOT hold mu (anti-deadlock)
+//   RNA_ASSERT_CAPABILITY(mu) — runtime-checked "mu is held here"
+//   RNA_RETURN_CAPABILITY(mu) — accessor returning a reference to mu
+//   RNA_NO_THREAD_SAFETY_ANALYSIS — opt a definition out of the analysis
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RNA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef RNA_THREAD_ANNOTATION_ATTRIBUTE
+#define RNA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define RNA_CAPABILITY(x) RNA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define RNA_SCOPED_CAPABILITY RNA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define RNA_GUARDED_BY(x) RNA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define RNA_PT_GUARDED_BY(x) RNA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define RNA_ACQUIRED_BEFORE(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define RNA_ACQUIRED_AFTER(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define RNA_REQUIRES(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define RNA_REQUIRES_SHARED(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define RNA_ACQUIRE(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define RNA_ACQUIRE_SHARED(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RNA_RELEASE(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RNA_RELEASE_SHARED(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RNA_TRY_ACQUIRE(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define RNA_EXCLUDES(...) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define RNA_ASSERT_CAPABILITY(x) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RNA_RETURN_CAPABILITY(x) \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define RNA_NO_THREAD_SAFETY_ANALYSIS \
+  RNA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

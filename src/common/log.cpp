@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "rna/common/mutex.hpp"
 
 namespace rna::common {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+// Serializes whole lines onto std::cerr so concurrent loggers never
+// interleave mid-line. The stream itself is the guarded resource.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +38,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::scoped_lock lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::cerr << "[" << LevelName(level) << "] " << message << "\n";
 }
 

@@ -16,11 +16,11 @@ bool TagMatches(int tag, std::span<const int> tags) {
 
 bool Mailbox::Put(Message msg) {
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (closed_) return false;
     messages_.push_back(std::move(msg));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return true;
 }
 
@@ -42,34 +42,35 @@ std::optional<Message> Mailbox::Get(int tag) {
 
 std::optional<Message> Mailbox::GetFor(int tag, common::Seconds timeout) {
   const int tags[] = {tag};
-  std::unique_lock lock(mu_);
-  std::optional<Message> found;
-  cv_.wait_for(lock, common::FromSeconds(timeout), [&] {
-    found = PopLocked(tags);
-    return found.has_value() || closed_;
-  });
-  if (!found) found = PopLocked(tags);  // final chance after timeout/close
-  return found;
+  const auto deadline =
+      common::SteadyClock::now() + common::FromSeconds(timeout);
+  common::MutexLock lock(mu_);
+  for (;;) {
+    if (auto found = PopLocked(tags)) return found;
+    if (closed_) return std::nullopt;
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+      return PopLocked(tags);  // final chance after the timeout
+    }
+  }
 }
 
 std::optional<Message> Mailbox::GetAny(std::span<const int> tags) {
-  std::unique_lock lock(mu_);
-  std::optional<Message> found;
-  cv_.wait(lock, [&] {
-    found = PopLocked(tags);
-    return found.has_value() || closed_;
-  });
-  return found;
+  common::MutexLock lock(mu_);
+  for (;;) {
+    if (auto found = PopLocked(tags)) return found;
+    if (closed_) return std::nullopt;
+    cv_.Wait(mu_);
+  }
 }
 
 std::optional<Message> Mailbox::TryGet(int tag) {
   const int tags[] = {tag};
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return PopLocked(tags);
 }
 
 std::size_t Mailbox::Pending(int tag) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return static_cast<std::size_t>(
       std::count_if(messages_.begin(), messages_.end(),
                     [&](const Message& m) { return m.tag == tag; }));
@@ -77,10 +78,10 @@ std::size_t Mailbox::Pending(int tag) const {
 
 void Mailbox::Close() {
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Fabric::Fabric(std::size_t endpoints, LatencyModel latency)
@@ -99,10 +100,10 @@ Fabric::~Fabric() {
   Shutdown();
   if (timer_thread_.joinable()) {
     {
-      std::scoped_lock lock(timer_mu_);
+      common::MutexLock lock(timer_mu_);
       timer_stop_ = true;
     }
-    timer_cv_.notify_all();
+    timer_cv_.NotifyAll();
     timer_thread_.join();
   }
 }
@@ -111,7 +112,7 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
   RNA_CHECK(from < Size() && to < Size());
   msg.src = from;
   {
-    std::scoped_lock lock(stats_mu_);
+    common::MutexLock lock(stats_mu_);
     ++stats_[from].messages_sent;
     stats_[from].bytes_sent += msg.ByteSize();
   }
@@ -122,37 +123,38 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
     return;
   }
   {
-    std::scoped_lock lock(timer_mu_);
+    common::MutexLock lock(timer_mu_);
     timer_heap_.push_back(PendingDelivery{
         common::SteadyClock::now() + common::FromSeconds(delay), to,
         std::move(msg)});
     std::push_heap(timer_heap_.begin(), timer_heap_.end(),
                    std::greater<PendingDelivery>{});
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
 }
 
 void Fabric::TimerLoop() {
-  std::unique_lock lock(timer_mu_);
+  common::MutexLock lock(timer_mu_);
   for (;;) {
     if (timer_stop_) return;
     if (timer_heap_.empty()) {
-      timer_cv_.wait(lock, [&] { return timer_stop_ || !timer_heap_.empty(); });
+      timer_cv_.Wait(timer_mu_);
       continue;
     }
     const auto due = timer_heap_.front().due;
-    const auto now = common::SteadyClock::now();
-    if (now < due) {
-      timer_cv_.wait_until(lock, due);
+    if (common::SteadyClock::now() < due) {
+      timer_cv_.WaitUntil(timer_mu_, due);
       continue;
     }
     std::pop_heap(timer_heap_.begin(), timer_heap_.end(),
                   std::greater<PendingDelivery>{});
     PendingDelivery delivery = std::move(timer_heap_.back());
     timer_heap_.pop_back();
-    lock.unlock();
+    // Deliver outside the lock: Put takes the mailbox lock and may wake a
+    // receiver that immediately calls Send back into this fabric.
+    lock.Unlock();
     mailboxes_[delivery.to]->Put(std::move(delivery.msg));
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -183,12 +185,12 @@ void Fabric::Shutdown() {
 
 TrafficStats Fabric::StatsFor(Rank rank) const {
   RNA_CHECK(rank < Size());
-  std::scoped_lock lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   return stats_[rank];
 }
 
 TrafficStats Fabric::TotalStats() const {
-  std::scoped_lock lock(stats_mu_);
+  common::MutexLock lock(stats_mu_);
   TrafficStats total;
   for (const auto& s : stats_) {
     total.messages_sent += s.messages_sent;

@@ -10,19 +10,18 @@
 // letting experiments inject network heterogeneity without touching
 // protocol code.
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "rna/common/clock.hpp"
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
 #include "rna/net/message.hpp"
 
 namespace rna::net {
@@ -57,12 +56,13 @@ class Mailbox {
   void Close();
 
  private:
-  std::optional<Message> PopLocked(std::span<const int> tags);
+  std::optional<Message> PopLocked(std::span<const int> tags)
+      RNA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> messages_;
-  bool closed_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<Message> messages_ RNA_GUARDED_BY(mu_);
+  bool closed_ RNA_GUARDED_BY(mu_) = false;
 };
 
 /// Cumulative per-endpoint traffic counters.
@@ -106,17 +106,18 @@ class Fabric {
 
   void TimerLoop();
 
+  // Immutable after construction; safe to index without a lock.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   LatencyModel latency_;
 
-  mutable std::mutex stats_mu_;
-  std::vector<TrafficStats> stats_;
+  mutable common::Mutex stats_mu_;
+  std::vector<TrafficStats> stats_ RNA_GUARDED_BY(stats_mu_);
 
   // Delayed-delivery machinery (only active when a latency model is set).
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::vector<PendingDelivery> timer_heap_;
-  bool timer_stop_ = false;
+  common::Mutex timer_mu_;
+  common::CondVar timer_cv_;
+  std::vector<PendingDelivery> timer_heap_ RNA_GUARDED_BY(timer_mu_);
+  bool timer_stop_ RNA_GUARDED_BY(timer_mu_) = false;
   std::thread timer_thread_;
 };
 

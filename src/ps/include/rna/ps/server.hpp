@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
 #include "rna/net/fabric.hpp"
 
 namespace rna::ps {
@@ -60,9 +62,9 @@ class ParameterServer {
 
   net::Fabric& fabric_;
   Rank rank_;
-  mutable std::mutex state_mu_;
-  std::vector<float> state_;
-  std::int64_t version_ = 0;
+  mutable common::Mutex state_mu_;
+  std::vector<float> state_ RNA_GUARDED_BY(state_mu_);
+  std::int64_t version_ RNA_GUARDED_BY(state_mu_) = 0;
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<bool> stop_{false};
   std::thread thread_;

@@ -43,7 +43,7 @@ void ParameterServer::Stop() {
 }
 
 std::vector<float> ParameterServer::Snapshot() const {
-  std::scoped_lock lock(state_mu_);
+  common::MutexLock lock(state_mu_);
   return state_;
 }
 
@@ -60,7 +60,7 @@ void ParameterServer::ServeLoop() {
     net::Message reply;
     reply.tag = PsTags::kReply;
     {
-      std::scoped_lock lock(state_mu_);
+      common::MutexLock lock(state_mu_);
       if (has_payload) {
         RNA_CHECK_MSG(req->data.size() == state_.size(),
                       "PS payload dimension mismatch");

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
 #include "rna/data/dataset.hpp"
 #include "rna/train/config.hpp"
 #include "rna/train/metrics.hpp"
@@ -52,6 +54,7 @@ class EvalMonitor {
 
  private:
   void Loop();
+  bool WaitPeriod();
   nn::BatchResult EvalSubsample(std::span<const float> params);
 
   TrainerConfig config_;
@@ -62,9 +65,16 @@ class EvalMonitor {
   const ParamBoard* board_ = nullptr;
   std::atomic<bool>* stop_ = nullptr;
   const std::atomic<std::size_t>* rounds_ = nullptr;
-  std::atomic<bool> finished_{false};
+
+  // Finish() raises finished_ under mu_ and notifies cv_, so the monitor
+  // thread's between-eval wait is interruptible instead of a plain sleep.
+  common::Mutex mu_;
+  common::CondVar cv_;
+  bool finished_ RNA_GUARDED_BY(mu_) = false;
   std::thread thread_;
 
+  // Written by the monitor thread only; published to the caller by the
+  // thread join inside Finish().
   std::vector<CurvePoint> curve_;
   bool reached_target_ = false;
   bool early_stopped_ = false;

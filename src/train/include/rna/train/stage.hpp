@@ -14,11 +14,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
 #include "rna/train/config.hpp"
 
 namespace rna::train {
@@ -62,9 +63,9 @@ class GradientStage {
   std::size_t dim_;
   std::size_t bound_;
   LocalCombine combine_;
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
-  std::size_t dropped_ = 0;
+  mutable common::Mutex mu_;
+  std::deque<Entry> entries_ RNA_GUARDED_BY(mu_);
+  std::size_t dropped_ RNA_GUARDED_BY(mu_) = 0;
 };
 
 /// Versioned parameter snapshot exchanged between threads.
@@ -84,9 +85,9 @@ class ParamBoard {
   std::vector<float> Snapshot(std::int64_t* version = nullptr) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<float> params_;
-  std::int64_t version_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<float> params_ RNA_GUARDED_BY(mu_);
+  std::int64_t version_ RNA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rna::train

@@ -22,14 +22,32 @@ void EvalMonitor::Start(const ParamBoard& board, std::atomic<bool>& stop,
   board_ = &board;
   stop_ = &stop;
   rounds_ = &rounds_done;
-  finished_.store(false);
+  {
+    common::MutexLock lock(mu_);
+    finished_ = false;
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
 void EvalMonitor::Finish() {
   if (!thread_.joinable()) return;
-  finished_.store(true);
+  {
+    common::MutexLock lock(mu_);
+    finished_ = true;
+  }
+  cv_.NotifyAll();
   thread_.join();
+}
+
+// Waits out one eval period; returns false as soon as Finish() is called.
+bool EvalMonitor::WaitPeriod() {
+  const auto deadline =
+      common::SteadyClock::now() + common::FromSeconds(config_.eval_period_s);
+  common::MutexLock lock(mu_);
+  while (!finished_) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  return !finished_;
 }
 
 nn::BatchResult EvalMonitor::EvalSubsample(std::span<const float> params) {
@@ -75,10 +93,7 @@ void EvalMonitor::Loop() {
   std::size_t evals_since_best = 0;
   std::int64_t last_version = -1;
 
-  while (!finished_.load()) {
-    std::this_thread::sleep_for(common::FromSeconds(config_.eval_period_s));
-    if (finished_.load()) break;
-
+  while (WaitPeriod()) {
     std::vector<float> params;
     const std::int64_t version = board_->ReadIfNewer(last_version, &params);
     if (version <= last_version) continue;  // nothing new published yet

@@ -95,7 +95,10 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   std::atomic<bool> global_stop{false};   // raised by controller / comm exit
   std::atomic<std::size_t> rounds_done{0};
   std::atomic<std::size_t> batches_applied{0};
-  std::vector<std::size_t> round_contributors;  // controller-thread only
+  // Written by the controller thread only; the main thread reads it only
+  // after controller_thread.join(), which orders those accesses (verified
+  // under TSan by tests/test_race_stress.cpp).
+  std::vector<std::size_t> round_contributors;
 
   EvalMonitor monitor(config, factory, val_data);
   monitor.Start(board, stop, rounds_done);
@@ -200,7 +203,9 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       // ranks read their own comm thread's params through the shared
       // collective result — which is identical on all ranks. To keep ranks
       // symmetric each compute thread re-reads from board (rank-0 view);
-      // since replicas are bit-identical this is exact.
+      // since replicas are bit-identical this is exact. The board itself is
+      // mutex-guarded (RNA_GUARDED_BY in stage.hpp), so these cross-thread
+      // reads race with Publish only through the lock.
       while (!global_stop.load(std::memory_order_relaxed)) {
         seen = board.ReadIfNewer(seen, &params);
         workers[w]->ComputeGradient(params, grad);

@@ -15,7 +15,7 @@ GradientStage::GradientStage(std::size_t dim, std::size_t staleness_bound,
 bool GradientStage::Write(std::span<const float> grad,
                           std::int64_t iteration) {
   RNA_CHECK_MSG(grad.size() == dim_, "gradient dimension mismatch");
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   bool grew = true;
   if (entries_.size() == bound_) {
     entries_.pop_front();  // overwrite the stalest gradient (bounded staleness)
@@ -29,7 +29,7 @@ bool GradientStage::Write(std::span<const float> grad,
 std::optional<GradientStage::Drained> GradientStage::Drain() {
   std::deque<Entry> taken;
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (entries_.empty()) return std::nullopt;
     taken.swap(entries_);
   }
@@ -43,7 +43,7 @@ std::optional<GradientStage::Drained> GradientStage::Drain() {
     out.grad = std::move(taken.back().grad);
     if (combine_ == LocalCombine::kLatest && taken.size() > 1) {
       // Older buffered gradients are discarded unused.
-      std::scoped_lock lock(mu_);
+      common::MutexLock lock(mu_);
       dropped_ += taken.size() - 1;
     }
     return out;
@@ -68,17 +68,17 @@ std::optional<GradientStage::Drained> GradientStage::Drain() {
 }
 
 bool GradientStage::HasGradient() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return !entries_.empty();
 }
 
 std::size_t GradientStage::BufferedCount() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::size_t GradientStage::Dropped() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return dropped_;
 }
 
@@ -86,7 +86,7 @@ ParamBoard::ParamBoard(std::vector<float> initial)
     : params_(std::move(initial)) {}
 
 void ParamBoard::Publish(std::span<const float> params, std::int64_t version) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   RNA_CHECK_MSG(params.size() == params_.size(), "param dimension mismatch");
   if (version <= version_) return;  // stale publish, keep the newer state
   params_.assign(params.begin(), params.end());
@@ -95,13 +95,13 @@ void ParamBoard::Publish(std::span<const float> params, std::int64_t version) {
 
 std::int64_t ParamBoard::ReadIfNewer(std::int64_t last_seen,
                                      std::vector<float>* out) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   if (version_ > last_seen && out != nullptr) *out = params_;
   return version_;
 }
 
 std::vector<float> ParamBoard::Snapshot(std::int64_t* version) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   if (version != nullptr) *version = version_;
   return params_;
 }

@@ -44,9 +44,7 @@ nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
       delay += sleep_per_step_ * steps + sleep_per_step_sq_ * steps * steps;
     }
   }
-  if (delay > 0.0) {
-    std::this_thread::sleep_for(common::FromSeconds(delay));
-  }
+  common::SleepFor(delay);  // straggler injection models real time passing
   times_.compute += watch.Elapsed();
   ++times_.iterations;
   return result;

@@ -1,13 +1,19 @@
 // Unit tests for rna::common — RNG determinism and distribution sanity,
-// online statistics, percentile summaries, histograms, blocking queue.
+// online statistics (including cross-thread merge), percentile summaries,
+// histograms, the log sink under concurrency, blocking queue.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iostream>
+#include <regex>
 #include <set>
+#include <sstream>
 #include <thread>
+#include <vector>
 
 #include "rna/common/clock.hpp"
+#include "rna/common/log.hpp"
 #include "rna/common/queue.hpp"
 #include "rna/common/rng.hpp"
 #include "rna/common/stats.hpp"
@@ -244,6 +250,44 @@ TEST(BlockingQueue, PopForTimesOut) {
   EXPECT_GE(watch.Elapsed(), 0.015);
 }
 
+TEST(BlockingQueue, PopForWakesWhenClosedAndDrainedDuringWait) {
+  BlockingQueue<int> q;
+  const Stopwatch watch;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+  });
+  // The consumer is parked inside the wait when Close() lands on an empty
+  // queue; it must return std::nullopt immediately, not ride out the
+  // 10-second timeout.
+  EXPECT_FALSE(q.PopFor(std::chrono::seconds(10)).has_value());
+  EXPECT_LT(watch.Elapsed(), 5.0);
+  closer.join();
+}
+
+TEST(BlockingQueue, PopForDeliversItemThatArrivesDuringWait) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Push(42);
+  });
+  EXPECT_EQ(q.PopFor(std::chrono::seconds(10)).value(), 42);
+  producer.join();
+}
+
+TEST(BlockingQueue, EmptyAndSizeTrackContents) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.Size(), 2u);
+  q.TryPop();
+  q.TryPop();
+  EXPECT_TRUE(q.Empty());
+}
+
 TEST(BlockingQueue, CrossThreadHandoff) {
   BlockingQueue<int> q;
   std::thread producer([&] {
@@ -256,6 +300,81 @@ TEST(BlockingQueue, CrossThreadHandoff) {
   }
   EXPECT_EQ(count, 100);
   producer.join();
+}
+
+// The paper's benches accumulate per-thread OnlineStats and Merge them on
+// the main thread — the supported concurrent-use pattern. Verify the merge
+// of concurrently filled accumulators matches a single-threaded pass.
+TEST(OnlineStats, PerThreadAccumulateThenMergeMatchesSerial) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<OnlineStats> partial(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(900 + t);
+      for (int i = 0; i < kPerThread; ++i) partial[t].Add(rng.Normal(3.0, 2.0));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  OnlineStats merged;
+  for (const auto& p : partial) merged.Merge(p);
+
+  OnlineStats serial;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(900 + t);
+    for (int i = 0; i < kPerThread; ++i) serial.Add(rng.Normal(3.0, 2.0));
+  }
+  EXPECT_EQ(merged.Count(), serial.Count());
+  EXPECT_NEAR(merged.Mean(), serial.Mean(), 1e-9);
+  EXPECT_NEAR(merged.Variance(), serial.Variance(), 1e-7);
+  EXPECT_EQ(merged.Min(), serial.Min());
+  EXPECT_EQ(merged.Max(), serial.Max());
+}
+
+// The log sink serializes whole lines onto stderr under its mutex:
+// concurrent writers may interleave lines but never characters.
+TEST(Log, ConcurrentWritersNeverInterleaveWithinALine) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+
+  std::ostringstream captured;
+  const LogLevel old_level = GetLogLevel();
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  SetLogLevel(LogLevel::kInfo);
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Info() << "t" << t << "-m" << i << "-x";
+        Debug() << "suppressed " << i;  // below threshold: discarded
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+
+  SetLogLevel(old_level);
+  std::cerr.rdbuf(old_buf);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  int info_lines = 0;
+  const std::regex pattern(R"(\[INFO\] t\d+-m\d+-x)");
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(std::regex_match(line, pattern)) << "mangled line: " << line;
+    ++info_lines;
+  }
+  EXPECT_EQ(info_lines, kThreads * kPerThread);
+}
+
+TEST(Log, LevelChangesAreVisibleAcrossThreads) {
+  const LogLevel old_level = GetLogLevel();
+  std::thread setter([] { SetLogLevel(LogLevel::kError); });
+  setter.join();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old_level);
 }
 
 TEST(Clock, StopwatchMeasuresSleep) {
