@@ -4,22 +4,31 @@
 //
 // Two views: (1) the calibrated PCIe model at paper magnitudes (full
 // parameter counts); (2) the *measured* cost of the staging copies in this
-// repo's worker pipeline (CopyGradsTo / SetParamsFrom round trip), which
-// plays the same architectural role.
+// repo's worker pipeline (CopyGradsTo / SetParamsFrom round trip), timed
+// per repetition through rna::obs — each round trip is an
+// ObserveMetric("staging.roundtrip_s/<case>") sample, and the table is read
+// back from the metrics registry (mean/min/max over 2000 reps).
+//
+// Flags: --json-out BENCH_table5.json   machine-readable rows for CI
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "rna/common/clock.hpp"
+#include "bench_util.hpp"
+#include "rna/common/flags.hpp"
 #include "rna/nn/network.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/session.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/sim/comm_model.hpp"
 
 using namespace rna;
 
 namespace {
 
-void ModelledView() {
+void ModelledView(std::vector<benchutil::BenchRow>* rows) {
   std::printf("=== Table 5: transmission cost of RNA "
               "(calibrated PCIe model, paper magnitudes) ===\n");
   std::printf("%-14s %14s %16s %14s %12s\n", "model", "params",
@@ -28,23 +37,29 @@ void ModelledView() {
   const struct {
     const char* name;
     double paper_pct;
-  } rows[] = {
+  } specs[] = {
       {"resnet50", 6.2}, {"lstm", 3.8}, {"vgg16", 23.0}, {"transformer", 18.0}};
-  for (const auto& row : rows) {
+  for (const auto& row : specs) {
     const sim::ModelSpec& spec = sim::FindModel(row.name);
     const double copy_s = copy.RoundTrip(spec.GradientBytes());
     const double pct = copy_s / spec.base_iteration * 100.0;
     std::printf("%-14s %14zu %16.1f %14.0f %10.1f%%  (paper %.1f%%)\n",
                 spec.name.c_str(), spec.parameters, copy_s * 1e3,
                 spec.base_iteration * 1e3, pct, row.paper_pct);
+    if (rows != nullptr) {
+      rows->push_back({"modelled/" + spec.name,
+                       {{"copy_per_iter_s", copy_s},
+                        {"overhead_pct", pct},
+                        {"paper_pct", row.paper_pct}}});
+    }
   }
 }
 
-void MeasuredView() {
+void MeasuredView(std::vector<benchutil::BenchRow>* rows) {
   std::printf("\n=== Companion: measured staging-copy cost in this repo's "
               "pipeline ===\n");
-  std::printf("(CopyGradsTo + SetParamsFrom per iteration, averaged over "
-              "2000 reps)\n");
+  std::printf("(CopyGradsTo + SetParamsFrom per iteration, each rep sampled "
+              "via rna::obs, 2000 reps)\n");
   struct Case {
     const char* name;
     std::unique_ptr<nn::Network> net;
@@ -57,17 +72,29 @@ void MeasuredView() {
                               std::vector<std::size_t>{24, 512, 6}, 2)};
   cases[2] = {"lstm", std::make_unique<nn::LstmClassifier>(8, 24, 4, 3, 0.0)};
 
+  obs::Session session;
   for (auto& c : cases) {
     const std::size_t dim = c.net->ParamCount();
     std::vector<float> buffer(dim);
-    const common::Stopwatch watch;
+    const std::string metric = std::string("staging.roundtrip_s/") + c.name;
     for (int rep = 0; rep < 2000; ++rep) {
+      obs::ScopedTimer timer({}, obs::Category::kOther, "staging_roundtrip");
       c.net->CopyGradsTo(buffer);
       c.net->SetParamsFrom(buffer);
+      obs::ObserveMetric(metric, timer.Stop());
     }
-    const double per_iter = watch.Elapsed() / 2000.0;
-    std::printf("%-14s params=%-8zu staging copy=%8.2f us/iter\n", c.name,
-                dim, per_iter * 1e6);
+    const common::OnlineStats stats = session.Metrics().StatsFor(metric);
+    std::printf("%-14s params=%-8zu staging copy=%8.2f us/iter "
+                "(min %.2f, max %.2f over %zu reps)\n",
+                c.name, dim, stats.Mean() * 1e6, stats.Min() * 1e6,
+                stats.Max() * 1e6, stats.Count());
+    if (rows != nullptr) {
+      rows->push_back({std::string("measured/") + c.name,
+                       {{"params", static_cast<double>(dim)},
+                        {"mean_roundtrip_s", stats.Mean()},
+                        {"min_roundtrip_s", stats.Min()},
+                        {"max_roundtrip_s", stats.Max()}}});
+    }
   }
   std::printf("\nThe copy cost scales with the parameter count and is "
               "independent of cluster size\n(it is local), matching the "
@@ -76,8 +103,15 @@ void MeasuredView() {
 
 }  // namespace
 
-int main() {
-  ModelledView();
-  MeasuredView();
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  const std::string json_out = flags.GetString("json-out", "");
+  std::vector<benchutil::BenchRow> rows;
+  ModelledView(json_out.empty() ? nullptr : &rows);
+  MeasuredView(json_out.empty() ? nullptr : &rows);
+  if (!json_out.empty()) {
+    benchutil::WriteBenchJson(json_out, "table5_overhead", rows);
+    std::printf("rows written to %s\n", json_out.c_str());
+  }
   return 0;
 }

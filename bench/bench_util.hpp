@@ -13,12 +13,18 @@
 // "iterations" with the same relative spread.
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "rna/core/rna.hpp"
 #include "rna/data/generators.hpp"
+#include "rna/obs/export.hpp"
+#include "rna/obs/session.hpp"
 #include "rna/train/partial_engine.hpp"
 
 namespace rna::benchutil {
@@ -201,6 +207,45 @@ inline double MeanTimeToTarget(train::Protocol protocol,
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (the CI bench-smoke job collects these as
+// BENCH_*.json artifacts) and trace export plumbing shared by the harnesses.
+
+/// One labelled row of numeric results.
+struct BenchRow {
+  std::string label;
+  std::map<std::string, double> values;
+};
+
+/// Writes `{"bench": <name>, "rows": [{"label": ..., <key>: <value>...}]}`.
+inline void WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path);
+  out << "{\"bench\":\"" << bench << "\",\"rows\":[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << (r ? ",\n" : "\n") << "{\"label\":\"" << rows[r].label << '"';
+    for (const auto& [key, value] : rows[r].values) {
+      out << ",\"" << key << "\":" << value;
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  if (!out.good()) throw std::runtime_error("failed writing " + path);
+}
+
+/// "out/trace.json" + "rna" → "out/trace-rna.json" — harnesses that run
+/// several protocols against one --trace-out flag write one file per run.
+inline std::string WithRunLabel(const std::string& path,
+                                const std::string& label) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "-" + label;
+  }
+  return path.substr(0, dot) + "-" + label + path.substr(dot);
 }
 
 }  // namespace rna::benchutil

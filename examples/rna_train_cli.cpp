@@ -5,33 +5,29 @@
 //   rna_train_cli --protocol rna --workload mlp --world 6
 //                 --rounds 500 --target-loss 0.6 --tiers 1,2,3
 //                 --checkpoint /tmp/model.ckpt
+//                 --trace-out /tmp/run.trace.json
 //
 // Protocols: horovod | eager | adpsgd | rna | rna-h | sgp | async-ps
 // Workloads: mlp | lstm | deep-lstm | attention | transformer
+//
+// --trace-out writes a Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev); --metrics-out writes one JSON object per
+// metric (counters, gauges, timer distributions).
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "rna/common/flags.hpp"
 #include "rna/core/rna.hpp"
 #include "rna/data/generators.hpp"
+#include "rna/obs/session.hpp"
 #include "rna/train/checkpoint.hpp"
 
 using namespace rna;
 
 namespace {
-
-train::Protocol ParseProtocol(const std::string& name) {
-  if (name == "horovod") return train::Protocol::kHorovod;
-  if (name == "eager") return train::Protocol::kEagerSgd;
-  if (name == "adpsgd") return train::Protocol::kAdPsgd;
-  if (name == "rna") return train::Protocol::kRna;
-  if (name == "rna-h") return train::Protocol::kRnaHierarchical;
-  if (name == "sgp") return train::Protocol::kSgp;
-  if (name == "async-ps") return train::Protocol::kCentralizedPs;
-  throw std::invalid_argument("unknown protocol: " + name);
-}
 
 std::vector<double> ParseTiers(const std::string& csv, std::size_t world) {
   std::vector<double> tiers;
@@ -54,7 +50,8 @@ int main(int argc, char** argv) {
         "usage: rna_train_cli [--protocol P] [--workload W] [--world N]\n"
         "  [--rounds K] [--target-loss L] [--batch B] [--lr R]\n"
         "  [--momentum M] [--probes Q] [--staleness H] [--seed S]\n"
-        "  [--tiers 1,2,3] [--jitter-ms J] [--checkpoint PATH]\n");
+        "  [--tiers 1,2,3] [--jitter-ms J] [--checkpoint PATH]\n"
+        "  [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]\n");
     return 0;
   }
 
@@ -115,7 +112,14 @@ int main(int argc, char** argv) {
   auto [train_data, val_data] = all.SplitHoldout(0.2);
 
   // ---- config -------------------------------------------------------------
-  config.protocol = ParseProtocol(flags.GetString("protocol", "rna"));
+  const std::string protocol_name = flags.GetString("protocol", "rna");
+  const std::optional<train::Protocol> protocol =
+      train::ParseProtocol(protocol_name);
+  if (!protocol.has_value()) {
+    std::fprintf(stderr, "unknown protocol: %s\n", protocol_name.c_str());
+    return 1;
+  }
+  config.protocol = *protocol;
   config.world = world;
   config.batch_size =
       static_cast<std::size_t>(flags.GetInt("batch", config.batch_size));
@@ -137,9 +141,32 @@ int main(int argc, char** argv) {
         jitter_ms * 1e-3);
   }
 
+  if (const std::string why = config.Validate(); !why.empty()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", why.c_str());
+    return 1;
+  }
+
   // ---- run ----------------------------------------------------------------
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  std::optional<obs::Session> session;
+  if (!trace_out.empty() || !metrics_out.empty()) session.emplace();
+
   const train::TrainResult result =
       core::RunTraining(config, factory, train_data, val_data);
+
+  if (session.has_value()) {
+    if (!trace_out.empty()) {
+      session->ExportTrace(trace_out);
+      std::printf("trace written to %s (%llu spans)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      session->Trace().TotalRecorded()));
+    }
+    if (!metrics_out.empty()) {
+      session->ExportMetrics(metrics_out);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+  }
 
   std::printf("protocol=%s workload=%s world=%zu\n",
               train::ProtocolName(config.protocol), workload.c_str(), world);

@@ -5,6 +5,7 @@
 #include "rna/common/check.hpp"
 #include "rna/common/mutex.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/tensor/ops.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
@@ -52,7 +53,8 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   std::vector<common::Mutex> model_mu(world);
   std::vector<WorkerTimeBreakdown> wait_comm(world);
 
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   // Responder threads: serve pairwise-average requests until every active
   // worker has finished (an active requester is never left hanging).
@@ -83,6 +85,8 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   trainers.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     trainers.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "gossip"));
       common::Rng rng(config.seed + 7000 + 13 * w);
       std::vector<float> grad(dim);
       std::vector<float> local(dim);
@@ -107,11 +111,14 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
           common::MutexLock lock(model_mu[w]);
           req.data = models[w];
         }
-        const common::Stopwatch wait_watch;
+        obs::ScopedTimer comm_timer(track, obs::Category::kComm, "gossip",
+                                    &wait_comm[w].comm);
+        comm_timer.SetArg("iter", static_cast<double>(iter));
+        comm_timer.SetArg("peer", static_cast<double>(peer));
         fabric.Send(w, peer, std::move(req));
         auto rep = fabric.Recv(w, tags::kAvgRep);
+        comm_timer.Stop();
         if (!rep.has_value()) break;
-        wait_comm[w].comm += wait_watch.Elapsed();
 
         {
           common::MutexLock lock(model_mu[w]);
@@ -139,7 +146,7 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
 
   for (auto& t : trainers) t.join();
   for (auto& t : responders) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
   // The canonical AD-PSGD model is the average over all replicas.

@@ -5,6 +5,7 @@
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -42,12 +43,15 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
 
   std::vector<WorkerTimeBreakdown> wait_comm(world);
   std::vector<std::vector<float>> final_params(world);
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   std::vector<std::thread> threads;
   threads.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     threads.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "sync"));
       std::vector<float> params = init;
       std::vector<float> buffer(dim + 1);  // gradient ‖ stop vote
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
@@ -65,14 +69,19 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
         // NEGOTIATE_ALLREDUCE: nobody enters the collective until every
         // worker has announced its tensors — the BSP barrier whose cost
         // Figure 1 decomposes.
-        const common::Stopwatch wait_watch;
-        collectives::Barrier(fabric, group, w, tags::BarrierTag(round));
-        wait_comm[w].wait += wait_watch.Elapsed();
-
-        const common::Stopwatch comm_watch;
-        collectives::RingAllreduce(fabric, group, w, buffer,
-                                   tags::RingTag(round));
-        wait_comm[w].comm += comm_watch.Elapsed();
+        {
+          obs::ScopedTimer wait_timer(track, obs::Category::kWait, "barrier",
+                                      &wait_comm[w].wait);
+          wait_timer.SetArg("round", static_cast<double>(round));
+          collectives::Barrier(fabric, group, w, tags::BarrierTag(round));
+        }
+        {
+          obs::ScopedTimer comm_timer(track, obs::Category::kComm,
+                                      "allreduce", &wait_comm[w].comm);
+          comm_timer.SetArg("round", static_cast<double>(round));
+          collectives::RingAllreduce(fabric, group, w, buffer,
+                                     tags::RingTag(round));
+        }
 
         const float inv_world = 1.0f / static_cast<float>(world);
         for (std::size_t i = 0; i < dim; ++i) buffer[i] *= inv_world;
@@ -89,7 +98,7 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
     });
   }
   for (auto& t : threads) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
   TrainResult result;

@@ -4,6 +4,7 @@
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
@@ -44,12 +45,15 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
   monitor.Start(board, stop, rounds_done);
 
   std::vector<WorkerTimeBreakdown> wait_comm(world);
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   std::vector<std::thread> threads;
   threads.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     threads.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "ps"));
       ps::PsClient client(fabric, w, server_rank);
       std::vector<float> params = init;
       std::vector<float> grad(dim);
@@ -63,9 +67,11 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
         // (the PS applies requests atomically in arrival order).
         const auto scale = lr / static_cast<float>(world);
         for (std::size_t i = 0; i < dim; ++i) delta[i] = -scale * grad[i];
-        const common::Stopwatch comm_watch;
+        obs::ScopedTimer comm_timer(track, obs::Category::kComm,
+                                    "push_pull", &wait_comm[w].comm);
+        comm_timer.SetArg("iter", static_cast<double>(iter));
         params = client.PushPull(delta, ps::ApplyMode::kAddDelta);
-        wait_comm[w].comm += comm_watch.Elapsed();
+        comm_timer.Stop();
         gradients.fetch_add(1);
         if (w == 0) {
           board.Publish(params, static_cast<std::int64_t>(iter) + 1);
@@ -75,7 +81,7 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
     });
   }
   for (auto& t : threads) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
   const std::vector<float> final_params = server.Snapshot();

@@ -5,6 +5,7 @@
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -56,12 +57,15 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
 
   std::vector<WorkerTimeBreakdown> wait_comm(world);
   std::vector<std::vector<float>> final_debiased(world);
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   std::vector<std::thread> threads;
   threads.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     threads.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "gossip"));
       // PushSum state: biased model x and weight ω; the de-biased model is
       // z = x/ω. Iterations are lock-step: exactly one send and one receive
       // per step (the hop graph is a permutation). Unlike the collective
@@ -98,7 +102,9 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
         }
         omega *= 0.5;
         push.data[dim] = static_cast<float>(omega);
-        const common::Stopwatch comm_watch;
+        obs::ScopedTimer comm_timer(track, obs::Category::kComm,
+                                    "push_recv", &wait_comm[w].comm);
+        comm_timer.SetArg("iter", static_cast<double>(iter));
         fabric.Send(w, peer, std::move(push));
 
         std::optional<net::Message> in;
@@ -108,7 +114,7 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
           if (in.has_value()) break;
           if (stop.load() || draining.load()) break;
         }
-        wait_comm[w].comm += comm_watch.Elapsed();
+        comm_timer.Stop();
         if (!in.has_value()) break;  // shutting down mid-step
         RNA_CHECK(in->data.size() == dim + 1);
         for (std::size_t i = 0; i < dim; ++i) x[i] += in->data[i];
@@ -129,7 +135,7 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
     });
   }
   for (auto& t : threads) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
   TrainResult result;

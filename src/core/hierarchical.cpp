@@ -1,17 +1,19 @@
 #include <atomic>
 #include <thread>
 
+#include "protocol_impls.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
-#include "rna/core/rna.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
 #include "rna/train/worker.hpp"
 
-namespace rna::core {
+namespace rna::core::detail {
 
 using namespace rna::train;
 
@@ -43,6 +45,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   const std::vector<std::size_t> group_of = ComputeSpeedGroups(iter_times);
   std::size_t num_groups = 0;
   for (std::size_t g : group_of) num_groups = std::max(num_groups, g + 1);
+  obs::SetGauge("hier.groups", static_cast<double>(num_groups));
 
   std::vector<collectives::Group> groups(num_groups);
   for (std::size_t w = 0; w < world; ++w) {
@@ -76,13 +79,16 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
 
   std::vector<WorkerTimeBreakdown> comm_times(world);
   std::vector<std::vector<float>> final_params(world);
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   // ---- communication threads (one per worker) ----------------------------
   std::vector<std::thread> comm_threads;
   comm_threads.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     comm_threads.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "comm"));
       const collectives::Group& group = groups[group_of[w]];
       const std::size_t my_index = group.IndexOf(w);
       const net::Rank my_controller = first_controller + group_of[w];
@@ -95,9 +101,10 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       std::int64_t published = 0;
 
       for (;;) {
-        const common::Stopwatch idle;
+        obs::ScopedTimer wait_timer(track, obs::Category::kWait,
+                                    "wait_trigger", &comm_times[w].wait);
         auto go = fabric.Recv(w, tags::kGo);
-        comm_times[w].wait += idle.Elapsed();
+        wait_timer.Stop();
         if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
         const auto round = static_cast<std::size_t>(go->meta[0]);
 
@@ -116,10 +123,18 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           std::fill(buffer.begin(), buffer.end(), 0.0f);
         }
 
-        const common::Stopwatch comm_watch;
-        const auto reduced = collectives::RingPartialAllreduce(
-            fabric, group, my_index, buffer, contributes,
-            tags::RingTag(round));
+        collectives::PartialResult reduced;
+        {
+          obs::ScopedTimer comm_timer(track, obs::Category::kComm,
+                                      "partial_allreduce",
+                                      &comm_times[w].comm);
+          comm_timer.SetArg("round", static_cast<double>(round));
+          reduced = collectives::RingPartialAllreduce(
+              fabric, group, my_index, buffer, contributes,
+              tags::RingTag(round));
+          comm_timer.SetArg("contributors",
+                            static_cast<double>(reduced.contributors));
+        }
         if (reduced.contributors > 0) {
           const double scale =
               config.lr_policy == LrScalePolicy::kLinear
@@ -134,13 +149,19 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
         // running average, and broadcasts it within the group.
         if (config.ps_sync_every > 0 && round % config.ps_sync_every == 0) {
           if (my_index == 0) {
+            obs::ScopedTimer ps_timer(track, obs::Category::kComm,
+                                      "ps_push_pull", &comm_times[w].comm);
+            ps_timer.SetArg("round", static_cast<double>(round));
             params = ps_client.PushPull(params, ps::ApplyMode::kAverage);
           }
+          obs::ScopedTimer bcast_timer(track, obs::Category::kComm,
+                                       "group_broadcast",
+                                       &comm_times[w].comm);
+          bcast_timer.SetArg("round", static_cast<double>(round));
           collectives::Broadcast(
               fabric, group, my_index, 0, params,
               tags::kGroupRing + static_cast<int>(round % 2));
         }
-        comm_times[w].comm += comm_watch.Elapsed();
 
         if (w == 0) board.Publish(params, ++published);
 
@@ -184,6 +205,8 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   controllers.reserve(num_groups);
   for (std::size_t g = 0; g < num_groups; ++g) {
     controllers.emplace_back([&, g] {
+      const obs::TrackHandle track = obs::RegisterTrack(
+          "group" + std::to_string(g) + "/controller");
       const collectives::Group& group = groups[g];
       const net::Rank self = first_controller + g;
       const std::size_t group_size = group.Size();
@@ -204,16 +227,23 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       for (std::size_t round = 0;
            round < config.max_rounds && !global_stop.load(); ++round) {
         policy->BeginRound(group_size, rng);
-        while (!stop.load() && !global_stop.load()) {
-          while (auto note = fabric.TryRecv(self, tags::kReady)) {
-            ++ready[index_of(note->src)];
+        {
+          obs::ScopedTimer probe_timer(track, obs::Category::kWait,
+                                       "probe_wait");
+          probe_timer.SetArg("round", static_cast<double>(round));
+          while (!stop.load() && !global_stop.load()) {
+            while (auto note = fabric.TryRecv(self, tags::kReady)) {
+              ++ready[index_of(note->src)];
+            }
+            if (policy->ShouldTrigger(ready)) break;
+            auto note = fabric.RecvFor(self, tags::kReady, 0.002);
+            if (note.has_value()) ++ready[index_of(note->src)];
           }
-          if (policy->ShouldTrigger(ready)) break;
-          auto note = fabric.RecvFor(self, tags::kReady, 0.002);
-          if (note.has_value()) ++ready[index_of(note->src)];
         }
         if (stop.load() || global_stop.load()) break;
 
+        obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
+        round_timer.SetArg("round", static_cast<double>(round));
         broadcast_go(static_cast<std::int64_t>(round), 0);
         const int both[] = {tags::kRoundEnd, tags::kReady};
         std::size_t contributors = 0;
@@ -229,7 +259,11 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           if (msg->meta[1] > 0) ++contributors;
           ++reports;
         }
+        round_timer.SetArg("contributors", static_cast<double>(contributors));
+        obs::ObserveMetric("round.contributors",
+                           static_cast<double>(contributors));
         if (g == group_of[0]) {
+          obs::CountMetric("round.count");
           round_contributors.push_back(contributors);
           rounds_done.fetch_add(1);
         }
@@ -241,7 +275,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   for (auto& t : controllers) t.join();
   for (auto& t : comm_threads) t.join();
   for (auto& t : compute_threads) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
   server.Stop();
 
@@ -250,6 +284,8 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   result.rounds = rounds_done.load();
   result.gradients_applied = batches_applied.load();
   for (auto& stage : stages) result.gradients_dropped += stage->Dropped();
+  obs::CountMetric("stage.staleness_drops",
+                   static_cast<std::int64_t>(result.gradients_dropped));
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();
@@ -270,4 +306,4 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   return result;
 }
 
-}  // namespace rna::core
+}  // namespace rna::core::detail

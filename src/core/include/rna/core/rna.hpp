@@ -1,17 +1,31 @@
 #pragma once
 
 // Public API of RNA — Randomized Non-blocking AllReduce (the paper's
-// contribution). Entry points:
+// contribution). There is one front door:
+//
+//   RunTraining       — validates the config and dispatches to the protocol
+//                       it names (RNA variants + the baselines). Throws
+//                       std::invalid_argument with the TrainerConfig::
+//                       Validate() message for unrunnable configs.
+//
+// plus two thin conveniences that pin the protocol field and forward:
 //
 //   RunRna            — flat RNA: power-of-q-choices initiator election +
 //                       partial non-blocking ring allreduce (§3).
 //   RunHierarchicalRna— RNA inside speed-homogeneous groups, asynchronous
 //                       parameter-server averaging across groups (§4).
-//   RunTraining       — dispatcher over every protocol in the repo
-//                       (RNA variants + the three baselines).
+//
+// and the reusable building blocks:
+//
 //   MakeProbePolicy   — the power-of-q-choices trigger, reusable with the
 //                       generic partial-collective engine.
 //   ComputeSpeedGroups— the recursive ζ>v grouping rule of §4.
+//
+// Observability: when an rna::obs::Session (or SetActiveTrace /
+// SetActiveMetrics) is installed, every runner dispatched through
+// RunTraining records per-thread spans (compute / wait / comm / round
+// lifecycle) and named metrics; with nothing installed the instrumentation
+// is a no-op. See rna/obs/session.hpp.
 
 #include <memory>
 #include <vector>
@@ -36,20 +50,32 @@ std::unique_ptr<train::TriggerPolicy> MakeProbePolicy(std::size_t choices);
 /// contiguous group id per worker.
 std::vector<std::size_t> ComputeSpeedGroups(const std::vector<double>& times);
 
-train::TrainResult RunRna(const train::TrainerConfig& config,
-                          const train::ModelFactory& factory,
-                          const data::Dataset& train_data,
-                          const data::Dataset& val_data);
-
-train::TrainResult RunHierarchicalRna(const train::TrainerConfig& config,
-                                      const train::ModelFactory& factory,
-                                      const data::Dataset& train_data,
-                                      const data::Dataset& val_data);
-
-/// Dispatches on config.protocol.
+/// The single entry point: validates `config` (throws std::invalid_argument
+/// with the Validate() message when it is unrunnable) and runs the protocol
+/// selected by config.protocol.
 train::TrainResult RunTraining(const train::TrainerConfig& config,
                                const train::ModelFactory& factory,
                                const data::Dataset& train_data,
                                const data::Dataset& val_data);
+
+/// Convenience: RunTraining with config.protocol pinned to kRna.
+inline train::TrainResult RunRna(const train::TrainerConfig& config,
+                                 const train::ModelFactory& factory,
+                                 const data::Dataset& train_data,
+                                 const data::Dataset& val_data) {
+  train::TrainerConfig pinned = config;
+  pinned.protocol = train::Protocol::kRna;
+  return RunTraining(pinned, factory, train_data, val_data);
+}
+
+/// Convenience: RunTraining with config.protocol pinned to kRnaHierarchical.
+inline train::TrainResult RunHierarchicalRna(const train::TrainerConfig& config,
+                                             const train::ModelFactory& factory,
+                                             const data::Dataset& train_data,
+                                             const data::Dataset& val_data) {
+  train::TrainerConfig pinned = config;
+  pinned.protocol = train::Protocol::kRnaHierarchical;
+  return RunTraining(pinned, factory, train_data, val_data);
+}
 
 }  // namespace rna::core

@@ -1,6 +1,6 @@
-#include "rna/core/rna.hpp"
+#include "protocol_impls.hpp"
 
-namespace rna::core {
+namespace rna::core::detail {
 
 // Flat RNA (§3): the generic partial-collective engine driven by the
 // power-of-q-choices probe trigger. Everything else the paper describes —
@@ -8,14 +8,14 @@ namespace rna::core {
 // local accumulation under a bounded-staleness cap, Linear-Scaling-Rule
 // learning rates, cross-iteration compute/comm threads — is configured
 // through TrainerConfig and implemented in the engine and collectives.
-train::TrainResult RunRna(const train::TrainerConfig& config,
-                          const train::ModelFactory& factory,
-                          const data::Dataset& train_data,
-                          const data::Dataset& val_data) {
+train::TrainResult RunFlatRna(const train::TrainerConfig& config,
+                              const train::ModelFactory& factory,
+                              const data::Dataset& train_data,
+                              const data::Dataset& val_data) {
   const std::size_t choices = config.probe_choices;
   return train::RunPartialCollective(
       config, factory, train_data, val_data,
       [choices] { return MakeProbePolicy(choices); });
 }
 
-}  // namespace rna::core
+}  // namespace rna::core::detail

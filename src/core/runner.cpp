@@ -1,3 +1,6 @@
+#include <stdexcept>
+
+#include "protocol_impls.hpp"
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
 #include "rna/core/rna.hpp"
@@ -8,6 +11,9 @@ train::TrainResult RunTraining(const train::TrainerConfig& config,
                                const train::ModelFactory& factory,
                                const data::Dataset& train_data,
                                const data::Dataset& val_data) {
+  if (std::string why = config.Validate(); !why.empty()) {
+    throw std::invalid_argument("invalid TrainerConfig: " + why);
+  }
   switch (config.protocol) {
     case train::Protocol::kHorovod:
       return baselines::RunHorovod(config, factory, train_data, val_data);
@@ -16,9 +22,9 @@ train::TrainResult RunTraining(const train::TrainerConfig& config,
     case train::Protocol::kAdPsgd:
       return baselines::RunAdPsgd(config, factory, train_data, val_data);
     case train::Protocol::kRna:
-      return RunRna(config, factory, train_data, val_data);
+      return detail::RunFlatRna(config, factory, train_data, val_data);
     case train::Protocol::kRnaHierarchical:
-      return RunHierarchicalRna(config, factory, train_data, val_data);
+      return detail::RunHierarchicalRna(config, factory, train_data, val_data);
     case train::Protocol::kSgp:
       return baselines::RunSgp(config, factory, train_data, val_data);
     case train::Protocol::kCentralizedPs:

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "rna/common/check.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
 
 namespace rna::net {
 
@@ -111,22 +113,27 @@ Fabric::~Fabric() {
 void Fabric::Send(Rank from, Rank to, Message msg) {
   RNA_CHECK(from < Size() && to < Size());
   msg.src = from;
+  const std::size_t bytes = msg.ByteSize();
   {
     common::MutexLock lock(stats_mu_);
     ++stats_[from].messages_sent;
-    stats_[from].bytes_sent += msg.ByteSize();
+    stats_[from].bytes_sent += bytes;
   }
+  obs::CountMetric("fabric.messages");
+  obs::CountMetric("fabric.bytes", static_cast<std::int64_t>(bytes));
   common::Seconds delay = 0.0;
-  if (latency_) delay = latency_(from, to, msg.ByteSize());
+  if (latency_) delay = latency_(from, to, bytes);
   if (delay <= 0.0) {
     mailboxes_[to]->Put(std::move(msg));
     return;
   }
+  obs::CountMetric("fabric.delayed_messages");
+  obs::ObserveMetric("fabric.injected_delay_s", delay);
+  const auto now = common::SteadyClock::now();
   {
     common::MutexLock lock(timer_mu_);
-    timer_heap_.push_back(PendingDelivery{
-        common::SteadyClock::now() + common::FromSeconds(delay), to,
-        std::move(msg)});
+    timer_heap_.push_back(PendingDelivery{now + common::FromSeconds(delay),
+                                          now, to, std::move(msg)});
     std::push_heap(timer_heap_.begin(), timer_heap_.end(),
                    std::greater<PendingDelivery>{});
   }
@@ -134,6 +141,10 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
 }
 
 void Fabric::TimerLoop() {
+  // One span per delayed delivery, covering enqueue → handoff, so injected
+  // network latency shows up as its own lane in the trace. The handle is
+  // owned by this (single) timer thread.
+  const obs::TrackHandle track = obs::RegisterTrack("fabric");
   common::MutexLock lock(timer_mu_);
   for (;;) {
     if (timer_stop_) return;
@@ -153,6 +164,18 @@ void Fabric::TimerLoop() {
     // Deliver outside the lock: Put takes the mailbox lock and may wake a
     // receiver that immediately calls Send back into this fabric.
     lock.Unlock();
+    if (obs::TraceRecorder* rec = track.Recorder();
+        track.Enabled() && rec == obs::ActiveTrace()) {
+      obs::Span span;
+      span.name = "in_flight";
+      span.category = obs::Category::kComm;
+      span.start = rec->SinceEpoch(delivery.enqueued);
+      span.duration =
+          common::ToSeconds(common::SteadyClock::now() - delivery.enqueued);
+      span.arg_keys[0] = "to";
+      span.arg_vals[0] = static_cast<double>(delivery.to);
+      rec->Record(track, span);
+    }
     mailboxes_[delivery.to]->Put(std::move(delivery.msg));
     lock.Lock();
   }

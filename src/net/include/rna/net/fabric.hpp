@@ -99,6 +99,7 @@ class Fabric {
  private:
   struct PendingDelivery {
     common::SteadyClock::time_point due;
+    common::SteadyClock::time_point enqueued;  ///< for latency attribution
     Rank to;
     Message msg;
     bool operator>(const PendingDelivery& other) const { return due > other.due; }

@@ -1,0 +1,447 @@
+#include "rna/obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "rna/common/check.hpp"
+
+namespace rna::obs {
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+/// Microsecond timestamps with nanosecond resolution; plain %g for args.
+void WriteFixed(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
+
+void WriteArg(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+void ExportChromeTrace(const TraceRecorder& recorder, std::ostream& out) {
+  const std::vector<TraceRecorder::TrackView> tracks = recorder.Snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const auto& track : tracks) {
+    comma();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << track.id
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    WriteJsonString(out, track.name);
+    out << "}}";
+  }
+  for (const auto& track : tracks) {
+    for (const Span& span : track.spans) {
+      comma();
+      out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << track.id << ",\"name\":";
+      WriteJsonString(out, span.name);
+      out << ",\"cat\":";
+      WriteJsonString(out, CategoryName(span.category));
+      out << ",\"ts\":";
+      WriteFixed(out, span.start * 1e6);
+      out << ",\"dur\":";
+      WriteFixed(out, span.duration * 1e6);
+      bool has_args = false;
+      for (int a = 0; a < 2; ++a) {
+        if (span.arg_keys[a] == nullptr) continue;
+        out << (has_args ? "," : ",\"args\":{");
+        has_args = true;
+        WriteJsonString(out, span.arg_keys[a]);
+        out << ":";
+        WriteArg(out, span.arg_vals[a]);
+      }
+      if (has_args) out << "}";
+      out << "}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+void ExportChromeTraceFile(const TraceRecorder& recorder,
+                           const std::string& path) {
+  std::ofstream out(path);
+  RNA_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  ExportChromeTrace(recorder, out);
+  out.flush();
+  RNA_CHECK_MSG(out.good(), "failed writing trace output file: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader, strict enough for the trace-viewer
+// schema this repo emits (and hand-written traces in tests).
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::istream& in) : in_(in) {}
+
+  // A tagged JSON value; numbers are doubles, as in JSON itself.
+  struct Value {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    const Value* Find(const std::string& key) const {
+      for (const auto& [k, v] : object) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    }
+  };
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipSpace();
+    if (in_.peek() != std::char_traits<char>::eof()) {
+      Fail("trailing content after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::runtime_error("trace JSON parse error: " + what);
+  }
+
+  void SkipSpace() {
+    while (std::isspace(in_.peek())) in_.get();
+  }
+
+  char Next() {
+    const int c = in_.get();
+    if (c == std::char_traits<char>::eof()) Fail("unexpected end of input");
+    return static_cast<char>(c);
+  }
+
+  void Expect(char want) {
+    const char c = Next();
+    if (c != want) {
+      Fail(std::string("expected '") + want + "', got '" + c + "'");
+    }
+  }
+
+  Value ParseValue() {
+    SkipSpace();
+    const int c = in_.peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        ParseLiteral("null");
+        return Value{};
+      default:
+        return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (Next() != *p) Fail(std::string("bad literal, expected ") + lit);
+    }
+  }
+
+  Value ParseBool() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (in_.peek() == 't') {
+      ParseLiteral("true");
+      v.boolean = true;
+    } else {
+      ParseLiteral("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  Value ParseNumber() {
+    std::string text;
+    int c = in_.peek();
+    while (c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' ||
+           std::isdigit(c)) {
+      text.push_back(static_cast<char>(in_.get()));
+      c = in_.peek();
+    }
+    if (text.empty()) Fail("expected a number");
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text, &used);
+    } catch (const std::exception&) {
+      Fail("malformed number: " + text);
+    }
+    if (used != text.size()) Fail("malformed number: " + text);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      const char c = Next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = Next();
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            Fail(std::string("unsupported escape \\") + esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    SkipSpace();
+    if (in_.peek() == ']') {
+      in_.get();
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      SkipSpace();
+      const char c = Next();
+      if (c == ']') return v;
+      if (c != ',') Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    SkipSpace();
+    if (in_.peek() == '}') {
+      in_.get();
+      return v;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      v.object.emplace_back(std::move(key), ParseValue());
+      SkipSpace();
+      const char c = Next();
+      if (c == '}') return v;
+      if (c != ',') Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::istream& in_;
+};
+
+double NumberOr(const JsonReader::Value* v, double fallback) {
+  return v != nullptr && v->kind == JsonReader::Value::Kind::kNumber
+             ? v->number
+             : fallback;
+}
+
+std::string StringOr(const JsonReader::Value* v, std::string fallback) {
+  return v != nullptr && v->kind == JsonReader::Value::Kind::kString
+             ? v->string
+             : fallback;
+}
+
+}  // namespace
+
+ParsedTrace ParseChromeTrace(std::istream& in) {
+  JsonReader reader(in);
+  const JsonReader::Value doc = reader.ParseDocument();
+  if (doc.kind != JsonReader::Value::Kind::kObject) {
+    throw std::runtime_error("trace JSON parse error: top level not an object");
+  }
+  const JsonReader::Value* events = doc.Find("traceEvents");
+  if (events == nullptr ||
+      events->kind != JsonReader::Value::Kind::kArray) {
+    throw std::runtime_error(
+        "trace JSON parse error: missing traceEvents array");
+  }
+
+  ParsedTrace trace;
+  for (const JsonReader::Value& ev : events->array) {
+    if (ev.kind != JsonReader::Value::Kind::kObject) {
+      throw std::runtime_error("trace JSON parse error: event not an object");
+    }
+    TraceEvent event;
+    event.ph = StringOr(ev.Find("ph"), "");
+    event.name = StringOr(ev.Find("name"), "");
+    event.cat = StringOr(ev.Find("cat"), "");
+    event.ts = NumberOr(ev.Find("ts"), 0.0);
+    event.dur = NumberOr(ev.Find("dur"), 0.0);
+    event.pid = static_cast<std::int64_t>(NumberOr(ev.Find("pid"), 0.0));
+    event.tid = static_cast<std::int64_t>(NumberOr(ev.Find("tid"), 0.0));
+    if (const JsonReader::Value* args = ev.Find("args");
+        args != nullptr && args->kind == JsonReader::Value::Kind::kObject) {
+      for (const auto& [key, value] : args->object) {
+        if (value.kind == JsonReader::Value::Kind::kNumber) {
+          event.args[key] = value.number;
+        } else if (value.kind == JsonReader::Value::Kind::kString) {
+          event.sargs[key] = value.string;
+        }
+      }
+    }
+    if (event.ph == "M" && event.name == "thread_name") {
+      const auto it = event.sargs.find("name");
+      if (it != event.sargs.end()) trace.track_names[event.tid] = it->second;
+      continue;
+    }
+    if (event.ph == "X") trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Figure queries.
+
+namespace {
+
+/// "worker<r>/<role>" → rank, or npos for non-worker tracks.
+std::size_t WorkerRankOf(const std::string& track_name) {
+  constexpr std::string_view prefix = "worker";
+  if (track_name.compare(0, prefix.size(), prefix) != 0) {
+    return std::string::npos;
+  }
+  std::size_t pos = prefix.size();
+  if (pos >= track_name.size() || !std::isdigit(track_name[pos])) {
+    return std::string::npos;
+  }
+  std::size_t rank = 0;
+  while (pos < track_name.size() && std::isdigit(track_name[pos])) {
+    rank = rank * 10 + static_cast<std::size_t>(track_name[pos] - '0');
+    ++pos;
+  }
+  if (pos >= track_name.size() || track_name[pos] != '/') {
+    return std::string::npos;
+  }
+  return rank;
+}
+
+void Accumulate(TimeAccount& account, Category category,
+                common::Seconds duration) {
+  switch (category) {
+    case Category::kCompute:
+      account.compute += duration;
+      break;
+    case Category::kWait:
+      account.wait += duration;
+      break;
+    case Category::kComm:
+      account.comm += duration;
+      break;
+    default:
+      return;  // structural spans don't count toward the breakdown
+  }
+  ++account.spans;
+}
+
+Category CategoryFromName(const std::string& name) {
+  if (name == "compute") return Category::kCompute;
+  if (name == "wait") return Category::kWait;
+  if (name == "comm") return Category::kComm;
+  if (name == "round") return Category::kRound;
+  if (name == "rpc") return Category::kRpc;
+  if (name == "eval") return Category::kEval;
+  return Category::kOther;
+}
+
+}  // namespace
+
+std::vector<TimeAccount> WorkerAccounts(
+    const std::vector<TraceRecorder::TrackView>& tracks, std::size_t world) {
+  std::vector<TimeAccount> accounts(world);
+  for (const auto& track : tracks) {
+    const std::size_t rank = WorkerRankOf(track.name);
+    if (rank == std::string::npos || rank >= world) continue;
+    for (const Span& span : track.spans) {
+      Accumulate(accounts[rank], span.category, span.duration);
+    }
+  }
+  return accounts;
+}
+
+std::vector<TimeAccount> WorkerAccounts(const ParsedTrace& trace,
+                                        std::size_t world) {
+  std::vector<TimeAccount> accounts(world);
+  for (const TraceEvent& event : trace.events) {
+    const auto name_it = trace.track_names.find(event.tid);
+    if (name_it == trace.track_names.end()) continue;
+    const std::size_t rank = WorkerRankOf(name_it->second);
+    if (rank == std::string::npos || rank >= world) continue;
+    Accumulate(accounts[rank], CategoryFromName(event.cat), event.dur * 1e-6);
+  }
+  return accounts;
+}
+
+}  // namespace rna::obs

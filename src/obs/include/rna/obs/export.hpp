@@ -1,0 +1,72 @@
+#pragma once
+
+// Trace exporters and queries.
+//
+//  * ExportChromeTrace writes the Chrome trace-event JSON format ("X"
+//    complete events + "M" thread_name metadata), loadable in Perfetto /
+//    chrome://tracing — one lane per recorder track, spans annotated with
+//    their numeric args (round ids, contributor counts, injected delay).
+//  * ParseChromeTrace reads that format back (used by the round-trip test
+//    and by offline figure tooling).
+//  * WorkerAccounts is the Figure 1 query: per-worker compute/wait/comm
+//    sums derived purely from spans, which the engine's reported
+//    WorkerTimeBreakdown must agree with (cross-checked in test_obs).
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rna/obs/trace.hpp"
+
+namespace rna::obs {
+
+void ExportChromeTrace(const TraceRecorder& recorder, std::ostream& out);
+
+/// Convenience: export straight to `path`; throws on I/O failure.
+void ExportChromeTraceFile(const TraceRecorder& recorder,
+                           const std::string& path);
+
+/// One parsed trace event (subset of the Chrome schema this repo emits).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;
+  double ts = 0.0;   ///< microseconds
+  double dur = 0.0;  ///< microseconds
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  std::map<std::string, double> args;       ///< numeric args
+  std::map<std::string, std::string> sargs; ///< string args (metadata)
+};
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;  ///< "X" complete events only
+  std::map<std::int64_t, std::string> track_names;  ///< from "M" metadata
+};
+
+/// Strict parser for the exporter's output (general JSON value syntax,
+/// trace-viewer schema). Throws std::runtime_error on malformed input.
+ParsedTrace ParseChromeTrace(std::istream& in);
+
+/// Per-logical-thread sums of the Figure 1 categories.
+struct TimeAccount {
+  common::Seconds compute = 0.0;
+  common::Seconds wait = 0.0;
+  common::Seconds comm = 0.0;
+  std::uint64_t spans = 0;
+};
+
+/// Sums compute/wait/comm spans of every "worker<r>/<role>" track into one
+/// account per rank (handles a worker's compute and comm threads being
+/// separate tracks). Ranks >= world are ignored.
+std::vector<TimeAccount> WorkerAccounts(
+    const std::vector<TraceRecorder::TrackView>& tracks, std::size_t world);
+
+/// Same query over a parsed (exported) trace, using the metadata track
+/// names; used to regenerate figures from trace files.
+std::vector<TimeAccount> WorkerAccounts(const ParsedTrace& trace,
+                                        std::size_t world);
+
+}  // namespace rna::obs

@@ -1,0 +1,76 @@
+#pragma once
+
+// Named-metrics registry: counters (monotonic int64), gauges (last-set
+// double) and timers (OnlineStats distributions). Unlike the trace ring
+// buffers this side is mutex-guarded and safe to read live — it is the
+// machine-readable side of observability (exported as JSONL for the
+// BENCH_*.json trajectory), while spans are the human/Perfetto side.
+//
+// Like tracing, installation is process-global (SetActiveMetrics /
+// Session): library code reports through the free helpers CountMetric /
+// ObserveMetric / SetGauge, which are single-atomic-load no-ops when no
+// registry is installed.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rna/common/mutex.hpp"
+#include "rna/common/stats.hpp"
+#include "rna/common/thread_annotations.hpp"
+
+namespace rna::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Add(std::string_view name, std::int64_t delta = 1);
+  void Set(std::string_view name, double value);
+  void Observe(std::string_view name, double sample);
+
+  /// 0 / 0.0 / empty stats for names never reported.
+  std::int64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  common::OnlineStats StatsFor(std::string_view name) const;
+
+  struct Row {
+    std::string name;
+    std::string kind;  ///< "counter" | "gauge" | "stats"
+    std::int64_t count = 0;
+    double value = 0.0;  ///< counter/gauge value; stats mean
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double stddev = 0.0;
+  };
+
+  /// Every metric, sorted by (kind, name).
+  std::vector<Row> Rows() const;
+
+  /// One JSON object per line, schema matching Row.
+  void ExportJsonl(std::ostream& out) const;
+
+ private:
+  mutable common::Mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_
+      RNA_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ RNA_GUARDED_BY(mu_);
+  std::map<std::string, common::OnlineStats, std::less<>> stats_
+      RNA_GUARDED_BY(mu_);
+};
+
+void SetActiveMetrics(MetricsRegistry* registry);
+MetricsRegistry* ActiveMetrics();
+
+/// No-ops when no registry is installed.
+void CountMetric(std::string_view name, std::int64_t delta = 1);
+void SetGauge(std::string_view name, double value);
+void ObserveMetric(std::string_view name, double sample);
+
+}  // namespace rna::obs

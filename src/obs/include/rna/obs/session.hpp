@@ -1,0 +1,51 @@
+#pragma once
+
+// RAII observability session: owns one TraceRecorder + one MetricsRegistry
+// and installs them as the process-global active instances for its
+// lifetime. This is the only way user-facing code (CLI, benches, tests)
+// should turn observability on:
+//
+//   rna::obs::Session session;          // tracing + metrics now active
+//   auto result = rna::core::RunTraining(cfg);
+//   session.ExportTrace("run.trace.json");    // Perfetto-loadable
+//   session.ExportMetrics("run.metrics.jsonl");
+//
+// Exactly one Session may be live at a time (nested installation would
+// silently split the trace); the constructor enforces that. Destruction
+// uninstalls before the recorder dies, so stale ScopedTimers degrade to
+// no-ops instead of dangling.
+
+#include <string>
+
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
+
+namespace rna::obs {
+
+class Session {
+ public:
+  explicit Session(
+      std::size_t track_capacity = TraceRecorder::kDefaultTrackCapacity);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  TraceRecorder& Trace() { return trace_; }
+  const TraceRecorder& Trace() const { return trace_; }
+  MetricsRegistry& Metrics() { return metrics_; }
+  const MetricsRegistry& Metrics() const { return metrics_; }
+
+  /// Chrome trace-event JSON to `path`. Requires producer quiescence (call
+  /// after the run returns). Throws on I/O failure.
+  void ExportTrace(const std::string& path) const;
+
+  /// JSONL metrics dump to `path`. Throws on I/O failure.
+  void ExportMetrics(const std::string& path) const;
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace rna::obs

@@ -1,0 +1,228 @@
+#pragma once
+
+// Span tracing — the repo's single source of timing truth. Every headline
+// number in the paper is a timing artifact (Figure 1's compute/wait/comm
+// breakdown, Figure 3's per-worker round timeline, Table 5's overhead
+// accounting), so protocol runners measure themselves through this API
+// instead of ad-hoc stopwatches (tools/lint.py bans `common::Stopwatch` in
+// runner code; see the raw-stopwatch rule).
+//
+// Model:
+//   * A TraceRecorder owns a set of *tracks*, one per instrumented thread
+//     (worker 3's comm thread, a group controller, the PS serve loop, …).
+//     Each track is a fixed-capacity single-producer ring buffer of
+//     timestamped spans — recording is lock-free and wait-free: one relaxed
+//     load + one release store of the track's count, no allocation.
+//   * ScopedTimer is the universal timing primitive: it always measures
+//     (two steady_clock reads, exactly what the old stopwatches cost),
+//     optionally accumulates into a caller's `Seconds` slot (this is how
+//     WorkerTimeBreakdown is filled), and records a span iff a recorder is
+//     installed. With no recorder the extra cost over a bare stopwatch is
+//     one relaxed atomic load — the <2% disabled-overhead budget asserted
+//     by bench_obs_overhead.
+//   * Installation is process-global (SetActiveTrace / Session in
+//     session.hpp): runners, WorkerContext, the fabric and the PS pick the
+//     recorder up ambiently, so instrumentation needs no config plumbing.
+//
+// Thread-safety contract (checked by the PR-2 lint/TSan gates):
+//   * RegisterTrack is mutex-guarded and rare (thread start).
+//   * Record / ScopedTimer::Stop on one track must come from one thread at
+//     a time (each thread registers its own track).
+//   * Snapshot() requires producer quiescence: call it after the producing
+//     threads joined (the join orders their plain ring writes before the
+//     reads), or while producers are provably idle. Protocol runners
+//     snapshot after the final join; live consumers use MetricsRegistry,
+//     which is internally locked, instead.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
+
+namespace rna::obs {
+
+/// Span taxonomy. kCompute / kWait / kComm are the Figure 1 decomposition
+/// and sum into WorkerTimeBreakdown; the rest are structural.
+enum class Category : std::uint8_t {
+  kCompute,  ///< forward/backward + injected straggler delay
+  kWait,     ///< blocked on barrier / trigger / peers / controller
+  kComm,     ///< inside a collective / gossip exchange / PS call
+  kRound,    ///< controller-side synchronization-round lifecycle
+  kRpc,      ///< point-to-point request handling (PS serve, probe)
+  kEval,     ///< monitor evaluation passes
+  kOther,    ///< totals, calibration, harness phases
+};
+
+const char* CategoryName(Category c);
+
+/// One completed span. Names and arg keys must be static-duration strings
+/// (string literals): spans live in pre-sized ring slots and never own
+/// memory.
+struct Span {
+  const char* name = "";
+  Category category = Category::kOther;
+  common::Seconds start = 0.0;     ///< seconds since the recorder's epoch
+  common::Seconds duration = 0.0;
+  std::uint32_t track = 0;
+  const char* arg_keys[2] = {nullptr, nullptr};
+  double arg_vals[2] = {0.0, 0.0};
+};
+
+namespace internal {
+
+/// Single-producer span ring. The producer alone advances `count`; readers
+/// see a consistent prefix via the release/acquire pair, and whole-ring
+/// consistency once the producer thread is joined.
+struct TraceRing {
+  explicit TraceRing(std::string track_name, std::size_t capacity)
+      : name(std::move(track_name)), slots(capacity) {}
+
+  const std::string name;
+  std::vector<Span> slots;
+  std::atomic<std::uint64_t> count{0};
+};
+
+}  // namespace internal
+
+class TraceRecorder;
+
+/// A cheap (two-pointer) handle to one track of one recorder. Null handles
+/// (default-constructed, or registered while no recorder was active) are
+/// valid and record nothing. A handle must not outlive its recorder.
+class TrackHandle {
+ public:
+  TrackHandle() = default;
+
+  bool Enabled() const { return ring_ != nullptr; }
+  TraceRecorder* Recorder() const { return recorder_; }
+
+ private:
+  friend class TraceRecorder;
+  friend class ScopedTimer;
+  TrackHandle(TraceRecorder* recorder, internal::TraceRing* ring)
+      : recorder_(recorder), ring_(ring) {}
+
+  TraceRecorder* recorder_ = nullptr;
+  internal::TraceRing* ring_ = nullptr;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultTrackCapacity = 1 << 14;
+
+  explicit TraceRecorder(std::size_t track_capacity = kDefaultTrackCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Creates (or revives — see below) the track named `name` and hands out
+  /// its producer handle. Thread-safe; meant for thread start, not hot
+  /// paths. Re-registering an existing name returns the same ring, so a
+  /// logical actor re-created across phases keeps appending to one track
+  /// (the single-producer rule then applies to the actors sequentially).
+  TrackHandle RegisterTrack(const std::string& name);
+
+  /// Seconds since this recorder's construction (the trace epoch).
+  common::Seconds Now() const { return SinceEpoch(common::SteadyClock::now()); }
+
+  common::Seconds SinceEpoch(common::SteadyClock::time_point tp) const {
+    return common::ToSeconds(tp - epoch_);
+  }
+
+  /// Lock-free append of a completed span (single producer per track).
+  void Record(const TrackHandle& track, const Span& span);
+
+  struct TrackView {
+    std::string name;
+    std::uint32_t id = 0;
+    std::vector<Span> spans;        ///< oldest → newest surviving span
+    std::uint64_t recorded = 0;     ///< total ever recorded on the track
+    std::uint64_t dropped = 0;      ///< overwritten by ring wrap-around
+  };
+
+  /// Copies out every track. Requires producer quiescence (see header
+  /// comment); spans are returned oldest-first per track.
+  std::vector<TrackView> Snapshot() const;
+
+  std::size_t TrackCount() const;
+  std::uint64_t TotalRecorded() const;
+  std::uint64_t TotalDropped() const;
+  std::size_t TrackCapacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const common::SteadyClock::time_point epoch_;
+  mutable common::Mutex mu_;
+  std::vector<std::unique_ptr<internal::TraceRing>> tracks_
+      RNA_GUARDED_BY(mu_);
+};
+
+/// Process-global recorder installation (see Session for the RAII form).
+/// Passing nullptr disables tracing. The installed recorder must outlive
+/// every thread that might still time spans against it.
+void SetActiveTrace(TraceRecorder* recorder);
+TraceRecorder* ActiveTrace();
+
+/// Registers `name` on the active recorder; a null handle if none is
+/// installed. The calling thread should own the returned track.
+TrackHandle RegisterTrack(const std::string& name);
+
+/// Canonical track naming for per-worker threads: "worker<rank>/<role>".
+/// Figure queries (WorkerAccounts in export.hpp) parse this shape.
+std::string WorkerTrack(std::size_t rank, const char* role);
+
+/// The universal timing primitive (see the header comment for the cost
+/// model). Measures from construction until Stop() / destruction; on stop
+/// it adds the elapsed seconds to `accumulate` (if given) and records a
+/// span on `track` (if enabled and the recorder is still the active one).
+class ScopedTimer {
+ public:
+  ScopedTimer(const TrackHandle& track, Category category, const char* name,
+              common::Seconds* accumulate = nullptr)
+      : track_(track),
+        acc_(accumulate),
+        start_(common::SteadyClock::now()) {
+    span_.name = name;
+    span_.category = category;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Attaches a numeric annotation (round id, contributor count, …). At
+  /// most two; later calls overwrite the second slot. Keys must be string
+  /// literals.
+  void SetArg(const char* key, double value) {
+    const std::size_t slot = span_.arg_keys[0] == nullptr ? 0
+                             : span_.arg_keys[0] == key   ? 0
+                             : 1;
+    span_.arg_keys[slot] = key;
+    span_.arg_vals[slot] = value;
+  }
+
+  /// Elapsed seconds so far, without stopping.
+  common::Seconds Elapsed() const {
+    return common::ToSeconds(common::SteadyClock::now() - start_);
+  }
+
+  /// Ends the measurement (idempotent): accumulates, records, and returns
+  /// the elapsed seconds of the first Stop().
+  common::Seconds Stop();
+
+ private:
+  TrackHandle track_;
+  Span span_;
+  common::Seconds* acc_ = nullptr;
+  common::SteadyClock::time_point start_;
+  bool stopped_ = false;
+  common::Seconds elapsed_ = 0.0;
+};
+
+}  // namespace rna::obs

@@ -1,0 +1,147 @@
+#include "rna/obs/metrics.hpp"
+
+#include <atomic>
+#include <ostream>
+
+namespace rna::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_active_metrics{nullptr};
+
+// std::map<std::string, V, std::less<>> supports heterogeneous lookup but
+// not heterogeneous insertion; this avoids an allocation on the hit path.
+template <typename Map, typename Value>
+auto& Slot(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), Value{}).first;
+  }
+  return it->second;
+}
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(std::string_view name, std::int64_t delta) {
+  common::MutexLock lock(mu_);
+  Slot<decltype(counters_), std::int64_t>(counters_, name) += delta;
+}
+
+void MetricsRegistry::Set(std::string_view name, double value) {
+  common::MutexLock lock(mu_);
+  Slot<decltype(gauges_), double>(gauges_, name) = value;
+}
+
+void MetricsRegistry::Observe(std::string_view name, double sample) {
+  common::MutexLock lock(mu_);
+  Slot<decltype(stats_), common::OnlineStats>(stats_, name).Add(sample);
+}
+
+std::int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  common::MutexLock lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  common::MutexLock lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+common::OnlineStats MetricsRegistry::StatsFor(std::string_view name) const {
+  common::MutexLock lock(mu_);
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? common::OnlineStats{} : it->second;
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::Rows() const {
+  common::MutexLock lock(mu_);
+  std::vector<Row> rows;
+  rows.reserve(counters_.size() + gauges_.size() + stats_.size());
+  for (const auto& [name, value] : counters_) {
+    Row row;
+    row.name = name;
+    row.kind = "counter";
+    row.count = value;
+    row.value = static_cast<double>(value);
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, value] : gauges_) {
+    Row row;
+    row.name = name;
+    row.kind = "gauge";
+    row.value = value;
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, stats] : stats_) {
+    Row row;
+    row.name = name;
+    row.kind = "stats";
+    row.count = static_cast<std::int64_t>(stats.Count());
+    row.value = stats.Mean();
+    row.min = stats.Min();
+    row.max = stats.Max();
+    row.sum = stats.Sum();
+    row.stddev = stats.Stddev();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void MetricsRegistry::ExportJsonl(std::ostream& out) const {
+  for (const Row& row : Rows()) {
+    out << "{\"name\":";
+    WriteJsonString(out, row.name);
+    out << ",\"kind\":";
+    WriteJsonString(out, row.kind);
+    out << ",\"count\":" << row.count << ",\"value\":" << row.value;
+    if (row.kind == "stats") {
+      out << ",\"min\":" << row.min << ",\"max\":" << row.max
+          << ",\"sum\":" << row.sum << ",\"stddev\":" << row.stddev;
+    }
+    out << "}\n";
+  }
+}
+
+void SetActiveMetrics(MetricsRegistry* registry) {
+  g_active_metrics.store(registry, std::memory_order_release);
+}
+
+MetricsRegistry* ActiveMetrics() {
+  return g_active_metrics.load(std::memory_order_acquire);
+}
+
+void CountMetric(std::string_view name, std::int64_t delta) {
+  if (MetricsRegistry* m = ActiveMetrics()) m->Add(name, delta);
+}
+
+void SetGauge(std::string_view name, double value) {
+  if (MetricsRegistry* m = ActiveMetrics()) m->Set(name, value);
+}
+
+void ObserveMetric(std::string_view name, double sample) {
+  if (MetricsRegistry* m = ActiveMetrics()) m->Observe(name, sample);
+}
+
+}  // namespace rna::obs

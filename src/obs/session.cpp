@@ -1,0 +1,34 @@
+#include "rna/obs/session.hpp"
+
+#include <fstream>
+
+#include "rna/common/check.hpp"
+#include "rna/obs/export.hpp"
+
+namespace rna::obs {
+
+Session::Session(std::size_t track_capacity) : trace_(track_capacity) {
+  RNA_CHECK_MSG(ActiveTrace() == nullptr && ActiveMetrics() == nullptr,
+                "an obs::Session is already active in this process");
+  SetActiveTrace(&trace_);
+  SetActiveMetrics(&metrics_);
+}
+
+Session::~Session() {
+  SetActiveTrace(nullptr);
+  SetActiveMetrics(nullptr);
+}
+
+void Session::ExportTrace(const std::string& path) const {
+  ExportChromeTraceFile(trace_, path);
+}
+
+void Session::ExportMetrics(const std::string& path) const {
+  std::ofstream out(path);
+  RNA_CHECK_MSG(out.good(), "cannot open metrics output file: " + path);
+  metrics_.ExportJsonl(out);
+  out.flush();
+  RNA_CHECK_MSG(out.good(), "failed writing metrics output file: " + path);
+}
+
+}  // namespace rna::obs

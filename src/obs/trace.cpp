@@ -1,0 +1,137 @@
+#include "rna/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace rna::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_active_trace{nullptr};
+
+}  // namespace
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case Category::kCompute:
+      return "compute";
+    case Category::kWait:
+      return "wait";
+    case Category::kComm:
+      return "comm";
+    case Category::kRound:
+      return "round";
+    case Category::kRpc:
+      return "rpc";
+    case Category::kEval:
+      return "eval";
+    case Category::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t track_capacity)
+    : capacity_(std::max<std::size_t>(1, track_capacity)),
+      epoch_(common::SteadyClock::now()) {}
+
+TrackHandle TraceRecorder::RegisterTrack(const std::string& name) {
+  common::MutexLock lock(mu_);
+  for (const auto& ring : tracks_) {
+    if (ring->name == name) return TrackHandle(this, ring.get());
+  }
+  tracks_.push_back(std::make_unique<internal::TraceRing>(name, capacity_));
+  return TrackHandle(this, tracks_.back().get());
+}
+
+void TraceRecorder::Record(const TrackHandle& track, const Span& span) {
+  internal::TraceRing* ring = track.ring_;
+  if (ring == nullptr) return;
+  const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  ring->slots[n % ring->slots.size()] = span;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TraceRecorder::TrackView> TraceRecorder::Snapshot() const {
+  common::MutexLock lock(mu_);
+  std::vector<TrackView> views;
+  views.reserve(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    const internal::TraceRing& ring = *tracks_[t];
+    TrackView view;
+    view.name = ring.name;
+    view.id = static_cast<std::uint32_t>(t);
+    view.recorded = ring.count.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring.slots.size();
+    const std::uint64_t kept = std::min(view.recorded, cap);
+    view.dropped = view.recorded - kept;
+    view.spans.reserve(kept);
+    for (std::uint64_t i = view.recorded - kept; i < view.recorded; ++i) {
+      Span span = ring.slots[i % cap];
+      span.track = view.id;
+      view.spans.push_back(span);
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::size_t TraceRecorder::TrackCount() const {
+  common::MutexLock lock(mu_);
+  return tracks_.size();
+}
+
+std::uint64_t TraceRecorder::TotalRecorded() const {
+  common::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : tracks_) {
+    total += ring->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::TotalDropped() const {
+  common::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : tracks_) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    total += n > ring->slots.size() ? n - ring->slots.size() : 0;
+  }
+  return total;
+}
+
+void SetActiveTrace(TraceRecorder* recorder) {
+  g_active_trace.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* ActiveTrace() {
+  return g_active_trace.load(std::memory_order_acquire);
+}
+
+TrackHandle RegisterTrack(const std::string& name) {
+  TraceRecorder* recorder = ActiveTrace();
+  if (recorder == nullptr) return {};
+  return recorder->RegisterTrack(name);
+}
+
+std::string WorkerTrack(std::size_t rank, const char* role) {
+  return "worker" + std::to_string(rank) + "/" + role;
+}
+
+common::Seconds ScopedTimer::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  const common::SteadyClock::time_point end = common::SteadyClock::now();
+  elapsed_ = common::ToSeconds(end - start_);
+  if (acc_ != nullptr) *acc_ += elapsed_;
+  // Record only while the handle's recorder is still the installed one, so
+  // a handle that accidentally outlives its Session degrades to a no-op
+  // instead of touching a dead ring.
+  if (track_.ring_ != nullptr && track_.recorder_ == ActiveTrace()) {
+    span_.start = track_.recorder_->SinceEpoch(start_);
+    span_.duration = elapsed_;
+    track_.recorder_->Record(track_, span_);
+  }
+  return elapsed_;
+}
+
+}  // namespace rna::obs

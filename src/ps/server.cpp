@@ -1,6 +1,8 @@
 #include "rna/ps/server.hpp"
 
 #include "rna/common/check.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
 
 namespace rna::ps {
 
@@ -48,11 +50,15 @@ std::vector<float> ParameterServer::Snapshot() const {
 }
 
 void ParameterServer::ServeLoop() {
+  const obs::TrackHandle track = obs::RegisterTrack("ps");
   for (;;) {
     auto req = fabric_.Recv(rank_, PsTags::kRequest);
     if (!req.has_value()) return;  // fabric shut down
     RNA_CHECK_MSG(req->meta.size() >= 3, "malformed PS request");
     if (req->meta[kMetaMode] == kStopSentinel) return;
+    obs::ScopedTimer rpc_timer(track, obs::Category::kRpc, "serve_request");
+    rpc_timer.SetArg("src", static_cast<double>(req->src));
+    obs::CountMetric("ps.requests");
     const auto mode = static_cast<ApplyMode>(req->meta[kMetaMode]);
     const bool want_reply = req->meta[kMetaWantReply] != 0;
     const bool has_payload = req->meta[kMetaHasPayload] != 0;

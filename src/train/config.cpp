@@ -1,5 +1,7 @@
 #include "rna/train/config.hpp"
 
+#include <sstream>
+
 namespace rna::train {
 
 const char* ProtocolName(Protocol p) {
@@ -20,6 +22,57 @@ const char* ProtocolName(Protocol p) {
       return "async-ps";
   }
   return "?";
+}
+
+std::optional<Protocol> ParseProtocol(std::string_view name) {
+  if (name == "horovod") return Protocol::kHorovod;
+  if (name == "eager-sgd" || name == "eager") return Protocol::kEagerSgd;
+  if (name == "ad-psgd" || name == "adpsgd") return Protocol::kAdPsgd;
+  if (name == "rna") return Protocol::kRna;
+  if (name == "rna-h") return Protocol::kRnaHierarchical;
+  if (name == "sgp") return Protocol::kSgp;
+  if (name == "async-ps") return Protocol::kCentralizedPs;
+  return std::nullopt;
+}
+
+std::string TrainerConfig::Validate() const {
+  std::ostringstream why;
+  if (world == 0) {
+    why << "world must be >= 1 (got 0)";
+  } else if (batch_size == 0) {
+    why << "batch_size must be >= 1 (got 0)";
+  } else if (max_rounds == 0) {
+    why << "max_rounds must be >= 1 (got 0)";
+  } else if (probe_choices == 0) {
+    why << "probe_choices must be >= 1 (got 0)";
+  } else if (probe_choices > world) {
+    why << "probe_choices (" << probe_choices << ") cannot exceed world ("
+        << world << "): the controller samples distinct workers";
+  } else if (staleness_bound == 0) {
+    why << "staleness_bound must be >= 1 (got 0): the stage needs room for "
+           "at least the newest gradient";
+  } else if (eval_period_s <= 0.0) {
+    why << "eval_period_s must be positive (got " << eval_period_s << ")";
+  } else if (eval_samples == 0) {
+    why << "eval_samples must be >= 1 (got 0)";
+  } else if (lr_decay_factor < 0.0) {
+    // factor == 0 is allowed: tests freeze training by decaying LR to zero.
+    why << "lr_decay_factor must be non-negative (got " << lr_decay_factor
+        << ")";
+  } else if (delay_scale < 0.0) {
+    why << "delay_scale must be non-negative (got " << delay_scale << ")";
+  } else if (sleep_per_step < 0.0 || sleep_per_step_sq < 0.0) {
+    why << "sleep_per_step / sleep_per_step_sq must be non-negative";
+  } else if (calibration_iters == 0 &&
+             protocol == Protocol::kRnaHierarchical) {
+    why << "calibration_iters must be >= 1 for rna-h (grouping needs "
+           "measured iteration times)";
+  } else if ((protocol == Protocol::kAdPsgd || protocol == Protocol::kSgp) &&
+             world < 2) {
+    why << ProtocolName(protocol) << " needs at least two workers (got "
+        << world << ")";
+  }
+  return why.str();
 }
 
 }  // namespace rna::train

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "rna/data/dataset.hpp"
 #include "rna/nn/network.hpp"
@@ -25,6 +28,11 @@ enum class Protocol {
 };
 
 const char* ProtocolName(Protocol p);
+
+/// Inverse of ProtocolName: canonical names plus the historical CLI
+/// aliases ("eager" for eager-sgd, "adpsgd" for ad-psgd). std::nullopt for
+/// anything else — CLIs decide how to report the error.
+std::optional<Protocol> ParseProtocol(std::string_view name);
 
 /// How locally buffered cross-iteration gradients are combined before the
 /// collective (§3.3 uses the staleness-weighted average; §6's text mentions
@@ -113,6 +121,13 @@ struct TrainerConfig {
 
   std::uint64_t seed = 42;
   std::uint64_t model_seed = 7;
+
+  /// Checks the cross-field invariants every runner depends on (world > 0,
+  /// probe_choices within the world, positive eval cadence, …). Returns an
+  /// empty string when the config is runnable, otherwise a description of
+  /// the first violation. core::RunTraining rejects invalid configs with
+  /// this message; CLIs should call it before running to fail fast.
+  std::string Validate() const;
 };
 
 }  // namespace rna::train

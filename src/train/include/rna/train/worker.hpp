@@ -14,6 +14,7 @@
 #include "rna/common/rng.hpp"
 #include "rna/data/dataset.hpp"
 #include "rna/nn/optimizer.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/train/config.hpp"
 #include "rna/train/metrics.hpp"
 
@@ -33,7 +34,10 @@ class WorkerContext {
   /// Runs one mini-batch at `params`: sets the replica's parameters,
   /// computes loss/gradient, sleeps the injected per-iteration delay, and
   /// writes the flat gradient into `grad_out`. Updates the compute-time
-  /// account and the per-worker iteration counter.
+  /// account and the per-worker iteration counter. When a trace recorder
+  /// is active, each batch is one kCompute span on "worker<rank>/compute"
+  /// (args: iteration index, injected delay) — the same measurement that
+  /// feeds the compute account, so breakdown and trace always agree.
   nn::BatchResult ComputeGradient(std::span<const float> params,
                                   std::span<float> grad_out);
 
@@ -61,6 +65,12 @@ class WorkerContext {
   double sleep_per_step_sq_;
   common::Rng delay_rng_;
   WorkerTimeBreakdown times_;
+  // Lazily registered on the first traced batch (the compute thread owns
+  // the track); calibration batches suppress spans so figures only see
+  // training compute.
+  obs::TrackHandle track_;
+  bool track_registered_ = false;
+  bool record_spans_ = true;
 };
 
 /// Builds one context per rank; all replicas share config.model_seed so

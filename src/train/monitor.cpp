@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "rna/common/check.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
 
 namespace rna::train {
 
@@ -88,7 +90,8 @@ nn::BatchResult EvalMonitor::FullEval(std::span<const float> params) {
 }
 
 void EvalMonitor::Loop() {
-  const common::Stopwatch watch;
+  const obs::TrackHandle track = obs::RegisterTrack("monitor");
+  obs::ScopedTimer curve_clock({}, obs::Category::kOther, "monitor_total");
   double best_loss = std::numeric_limits<double>::infinity();
   std::size_t evals_since_best = 0;
   std::int64_t last_version = -1;
@@ -99,12 +102,18 @@ void EvalMonitor::Loop() {
     if (version <= last_version) continue;  // nothing new published yet
     last_version = version;
 
+    obs::ScopedTimer eval_timer(track, obs::Category::kEval, "eval");
     const nn::BatchResult eval = EvalSubsample(params);
     CurvePoint point;
-    point.time = watch.Elapsed();
+    point.time = curve_clock.Elapsed();
     point.round = rounds_->load();
     point.loss = eval.loss;
     point.accuracy = eval.Accuracy();
+    eval_timer.SetArg("round", static_cast<double>(point.round));
+    eval_timer.SetArg("loss", point.loss);
+    eval_timer.Stop();
+    obs::CountMetric("monitor.evals");
+    obs::SetGauge("monitor.latest_loss", point.loss);
     curve_.push_back(point);
 
     if (config_.target_loss > 0.0 && eval.loss <= config_.target_loss) {

@@ -6,6 +6,8 @@
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/obs/metrics.hpp"
+#include "rna/obs/trace.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -106,13 +108,16 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   std::vector<WorkerTimeBreakdown> comm_times(world);
   std::vector<std::vector<float>> final_params(world);
 
-  const common::Stopwatch wall;
+  obs::ScopedTimer wall_timer(obs::RegisterTrack("main"),
+                              obs::Category::kOther, "train_total");
 
   // ---- communication threads -------------------------------------------
   std::vector<std::thread> comm_threads;
   comm_threads.reserve(world);
   for (std::size_t w = 0; w < world; ++w) {
     comm_threads.emplace_back([&, w] {
+      const obs::TrackHandle track =
+          obs::RegisterTrack(obs::WorkerTrack(w, "comm"));
       std::vector<float> params = init;
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
       std::int64_t published = 0;
@@ -126,9 +131,10 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       const bool stale_reuse =
           config.contribution == ContributionMode::kStaleReuse;
       for (;;) {
-        const common::Stopwatch idle;
+        obs::ScopedTimer wait_timer(track, obs::Category::kWait,
+                                    "wait_trigger", &comm_times[w].wait);
         auto go = fabric.Recv(w, tags::kGo);
-        comm_times[w].wait += idle.Elapsed();
+        wait_timer.Stop();
         if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
         const auto round = static_cast<std::size_t>(go->meta[0]);
 
@@ -156,12 +162,18 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           std::fill(buffer.begin(), buffer.end(), 0.0f);  // null gradient
         }
 
-        const common::Stopwatch comm_watch;
-        const collectives::PartialResult reduced =
-            collectives::RingPartialAllreduce(fabric, group, w, buffer,
-                                              contributes,
-                                              tags::RingTag(round));
-        comm_times[w].comm += comm_watch.Elapsed();
+        collectives::PartialResult reduced;
+        {
+          obs::ScopedTimer comm_timer(track, obs::Category::kComm,
+                                      "partial_allreduce",
+                                      &comm_times[w].comm);
+          comm_timer.SetArg("round", static_cast<double>(round));
+          reduced = collectives::RingPartialAllreduce(fabric, group, w, buffer,
+                                                      contributes,
+                                                      tags::RingTag(round));
+          comm_timer.SetArg("contributors",
+                            static_cast<double>(reduced.contributors));
+        }
 
         if (reduced.contributors > 0) {
           double scale = 1.0;
@@ -175,6 +187,9 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
             scale = static_cast<double>(reduced.contributors) /
                     static_cast<double>(world);
           }
+          // The paper's W = 1/Σw re-weight, folded into the LR scale; one
+          // rank reports it so the metric is per round, not per worker.
+          if (w == 0) obs::ObserveMetric("round.reweight_scale", scale);
           optimizer.Step(params, buffer, scale);
         }
         if (w == 0) board.Publish(params, ++published);
@@ -224,6 +239,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
 
   // ---- controller ---------------------------------------------------------
   std::thread controller_thread([&] {
+    const obs::TrackHandle track = obs::RegisterTrack("controller");
     common::Rng rng(config.seed + 9001);
     std::unique_ptr<TriggerPolicy> policy = policy_factory();
     std::vector<std::int64_t> ready(world, 0);
@@ -240,18 +256,26 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     for (std::size_t round = 0;
          round < config.max_rounds && !global_stop.load(); ++round) {
       policy->BeginRound(world, rng);
-      while (!stop.load() && !global_stop.load()) {
-        // Drain the whole notification backlog each pass so the controller
-        // mailbox stays small even with very fast compute threads.
-        while (auto note = fabric.TryRecv(controller, tags::kReady)) {
-          ++ready[note->src];
+      {
+        obs::ScopedTimer probe_timer(track, obs::Category::kWait,
+                                     "probe_wait");
+        probe_timer.SetArg("round", static_cast<double>(round));
+        while (!stop.load() && !global_stop.load()) {
+          // Drain the whole notification backlog each pass so the
+          // controller mailbox stays small even with very fast compute
+          // threads.
+          while (auto note = fabric.TryRecv(controller, tags::kReady)) {
+            ++ready[note->src];
+          }
+          if (policy->ShouldTrigger(ready)) break;
+          auto note = fabric.RecvFor(controller, tags::kReady, 0.002);
+          if (note.has_value()) ++ready[note->src];
         }
-        if (policy->ShouldTrigger(ready)) break;
-        auto note = fabric.RecvFor(controller, tags::kReady, 0.002);
-        if (note.has_value()) ++ready[note->src];
       }
       if (stop.load() || global_stop.load()) break;
 
+      obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
+      round_timer.SetArg("round", static_cast<double>(round));
       broadcast_go(static_cast<std::int64_t>(round), 0);
       const int both[] = {tags::kRoundEnd, tags::kReady};
       std::size_t contributors = 0;
@@ -267,6 +291,10 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
         if (msg->meta[1] > 0) ++contributors;
         ++reports;
       }
+      round_timer.SetArg("contributors", static_cast<double>(contributors));
+      obs::CountMetric("round.count");
+      obs::ObserveMetric("round.contributors",
+                         static_cast<double>(contributors));
       round_contributors.push_back(contributors);
       rounds_done.fetch_add(1);
     }
@@ -277,7 +305,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   for (auto& t : comm_threads) t.join();
   // comm exits flip global_stop; compute threads notice within an iteration.
   for (auto& t : compute_threads) t.join();
-  const common::Seconds wall_s = wall.Elapsed();
+  const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
   TrainResult result;
@@ -285,6 +313,8 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   result.rounds = rounds_done.load();
   result.gradients_applied = batches_applied.load();
   for (auto& stage : stages) result.gradients_dropped += stage->Dropped();
+  obs::CountMetric("stage.staleness_drops",
+                   static_cast<std::int64_t>(result.gradients_dropped));
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();

@@ -31,7 +31,13 @@ common::Seconds WorkerContext::SampleDelay() {
 nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
                                                std::span<float> grad_out) {
   RNA_CHECK(params.size() == dim_ && grad_out.size() == dim_);
-  const common::Stopwatch watch;
+  if (record_spans_ && !track_registered_ && obs::ActiveTrace() != nullptr) {
+    track_ = obs::RegisterTrack(obs::WorkerTrack(rank_, "compute"));
+    track_registered_ = true;
+  }
+  obs::ScopedTimer timer(record_spans_ ? track_ : obs::TrackHandle{},
+                         obs::Category::kCompute, "batch", &times_.compute);
+  timer.SetArg("iter", static_cast<double>(times_.iterations));
   net_->SetParamsFrom(params);
   nn::Batch batch = sampler_.Next();
   nn::BatchResult result = net_->ForwardBackward(batch);
@@ -44,8 +50,8 @@ nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
       delay += sleep_per_step_ * steps + sleep_per_step_sq_ * steps * steps;
     }
   }
+  timer.SetArg("delay_s", delay);
   common::SleepFor(delay);  // straggler injection models real time passing
-  times_.compute += watch.Elapsed();
   ++times_.iterations;
   return result;
 }
@@ -54,14 +60,17 @@ common::Seconds WorkerContext::MeasureIterationTime(
     std::span<const float> params, std::size_t iters) {
   RNA_CHECK(iters > 0);
   std::vector<float> scratch(dim_);
-  const common::Stopwatch watch;
+  obs::ScopedTimer watch({}, obs::Category::kOther, "calibration");
   const std::size_t before = times_.iterations;
   common::Seconds compute_before = times_.compute;
+  // Calibration batches should not count toward training statistics —
+  // neither the breakdown accounts (restored below) nor the trace.
+  record_spans_ = false;
   for (std::size_t i = 0; i < iters; ++i) {
     ComputeGradient(params, scratch);
   }
-  const common::Seconds elapsed = watch.Elapsed();
-  // Calibration batches should not count toward training statistics.
+  record_spans_ = true;
+  const common::Seconds elapsed = watch.Stop();
   times_.iterations = before;
   times_.compute = compute_before;
   return elapsed / static_cast<double>(iters);

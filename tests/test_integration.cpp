@@ -198,7 +198,9 @@ TEST(Integration, SingleWorkerDegeneratesGracefully) {
   Scenario s = MakeMlpScenario();
   TrainerConfig c = BaseConfig(Protocol::kRna, 150);
   c.world = 1;
-  c.probe_choices = 2;  // capped at world internally
+  // RunTraining now validates probe_choices <= world instead of silently
+  // capping; a single-worker run probes its only worker.
+  c.probe_choices = 1;
   const TrainResult r = RunTraining(c, s.factory, s.train, s.val);
   ExpectLearned(r, 0.7);
 }

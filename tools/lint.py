@@ -23,6 +23,13 @@ test). Enforces the repo's threading discipline, which Clang's
   unguarded-mutex   every Mutex member must have at least one member
                     annotated RNA_GUARDED_BY / RNA_PT_GUARDED_BY on it, so
                     the capability analysis actually covers the class.
+  raw-stopwatch     protocol runners must time themselves through rna::obs
+                    (ScopedTimer feeds both WorkerTimeBreakdown and the
+                    trace, so figures and breakdowns cannot diverge);
+                    ad-hoc common::Stopwatch in runner code reintroduces a
+                    second, unexported timing source. Applies to src/core,
+                    src/train, src/baselines, src/ps; the obs module,
+                    clock.hpp, tests and benches are exempt.
 
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 """
@@ -158,6 +165,15 @@ RULES = [
         "rna::common::Mutex / MutexLock / CondVar (rna/common/mutex.hpp)",
         lambda p: in_library(p) and p != MUTEX_HEADER,
     ),
+    Rule(
+        "raw-stopwatch",
+        r"\bStopwatch\b",
+        "runner code must time through rna::obs::ScopedTimer (rna/obs/"
+        "trace.hpp) so every measurement lands in the trace; "
+        "common::Stopwatch is a second, unexported timing source",
+        lambda p: p.startswith(("src/core/", "src/train/", "src/baselines/",
+                                "src/ps/")),
+    ),
 ]
 
 MUTEX_MEMBER_RE = re.compile(
@@ -233,6 +249,9 @@ SELFTEST_CASES = [
     ("raw-mutex", "src/x.cpp", "std::scoped_lock lock(mu_);\n"),
     ("unguarded-mutex", "src/x.hpp",
      "class C { mutable common::Mutex mu_; int x; };\n"),
+    ("raw-stopwatch", "src/train/engine.cpp",
+     "const common::Stopwatch watch;\n"),
+    ("raw-stopwatch", "src/baselines/b.cpp", "Stopwatch w; use(w);\n"),
 ]
 
 SELFTEST_CLEAN = [
@@ -250,6 +269,12 @@ SELFTEST_CLEAN = [
     (CLOCK_HEADER, "std::this_thread::sleep_for(FromSeconds(s));\n"),
     # The Rng header may reference std engines (e.g. in docs comparisons).
     (RNG_HEADER, "// unlike std::mt19937 ...\nstd::mt19937 compat;\n"),
+    # Stopwatch stays legal outside runner code: benches, tests, and the
+    # obs/common layers (ScopedTimer is built on the same clock).
+    ("bench/bench_x.cpp", "const common::Stopwatch watch;\n"),
+    ("tests/t.cpp", "common::Stopwatch watch;\n"),
+    ("src/common/include/rna/common/clock.hpp", "class Stopwatch {};\n"),
+    ("src/obs/trace.cpp", "// replaces the Stopwatch pattern\n"),
 ]
 
 
