@@ -5,7 +5,10 @@
 #include "rna/common/check.hpp"
 #include "rna/common/mutex.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
+#include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/tensor/ops.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
@@ -33,6 +36,16 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   const std::size_t world = config.world;
   RNA_CHECK_MSG(world >= 2, "AD-PSGD needs at least two workers");
   net::Fabric fabric(world);
+
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const bool faulty = config.fault.Enabled();
+  const bool lockstep = config.lockstep;
+  // Serializes iterations (compute + gossip) into rank order under
+  // lockstep; crashed or finished ranks retire from the rotation.
+  RoundRobinGate gate(world);
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -63,6 +76,9 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   for (std::size_t w = 0; w < world; ++w) {
     responders.emplace_back([&, w] {
       while (workers_running.load() > 0) {
+        // A crashed rank answers no more gossip; requesters discover that
+        // through their reply timeout and mark the peer dead.
+        if (faulty && !faults.Alive(w)) break;
         auto req = fabric.RecvFor(w, tags::kAvgReq, 0.002);
         if (!req.has_value()) continue;
         net::Message reply;
@@ -94,38 +110,85 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
       // not be consistent across gossip exchanges.
       const auto lr = static_cast<float>(config.sgd.learning_rate);
 
+      // Peers this trainer has watched time out (a reply never came); a
+      // dead peer is skipped deterministically via the shared FaultRuntime,
+      // a silently-lossy one via this local suspicion list.
+      std::vector<bool> peer_suspect(world, false);
+
       for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
            ++iter) {
+        if (lockstep && !gate.AcquireTurn(w)) break;
+        if (faulty && faults.BeforeIteration(w, workers[w]->Iterations()) ==
+                          IterationFate::kCrash) {
+          faults.Kill(w);
+          obs::CountMetric("fault.worker.goodbyes");
+          break;  // gate.Retire below releases the rotation
+        }
         {
           common::MutexLock lock(model_mu[w]);
           local = models[w];
         }
         workers[w]->ComputeGradient(local, grad);
 
-        // Gossip: send my current model, receive the pairwise average.
+        // Gossip: send my current model, receive the pairwise average. The
+        // peer is always drawn — even when it will be skipped — so the rng
+        // stream (and therefore the replay) is independent of failures.
         std::size_t peer = rng.UniformInt(world - 1);
         if (peer >= w) ++peer;
-        net::Message req;
-        req.tag = tags::kAvgReq;
-        {
-          common::MutexLock lock(model_mu[w]);
-          req.data = models[w];
+        bool gossiped = false;
+        std::optional<net::Message> rep;
+        const bool peer_usable =
+            !faulty || (faults.Alive(peer) && !peer_suspect[peer]);
+        if (peer_usable) {
+          if (faulty) {
+            // A reply from a timed-out past exchange must not satisfy this
+            // one.
+            while (fabric.TryRecv(w, tags::kAvgRep).has_value()) {
+              obs::CountMetric("fault.gossip_stale_replies");
+            }
+          }
+          net::Message req;
+          req.tag = tags::kAvgReq;
+          {
+            common::MutexLock lock(model_mu[w]);
+            req.data = models[w];
+          }
+          obs::ScopedTimer comm_timer(track, obs::Category::kComm, "gossip",
+                                      &wait_comm[w].comm);
+          comm_timer.SetArg("iter", static_cast<double>(iter));
+          comm_timer.SetArg("peer", static_cast<double>(peer));
+          fabric.Send(w, peer, std::move(req));
+          rep = faulty ? fabric.RecvFor(w, tags::kAvgRep,
+                                        config.fault.collective_timeout_s)
+                       : fabric.Recv(w, tags::kAvgRep);
+          comm_timer.Stop();
+          if (rep.has_value()) {
+            gossiped = true;
+          } else if (!faulty || fabric.IsClosed(w)) {
+            break;  // fabric shut down mid-exchange
+          } else {
+            // Timed out: the peer is crashed or the link ate the exchange.
+            // Fall back to a local SGD step and stop gossiping with it.
+            peer_suspect[peer] = true;
+            obs::CountMetric("fault.gossip_timeouts");
+          }
+        } else {
+          obs::CountMetric("fault.gossip_skipped");
         }
-        obs::ScopedTimer comm_timer(track, obs::Category::kComm, "gossip",
-                                    &wait_comm[w].comm);
-        comm_timer.SetArg("iter", static_cast<double>(iter));
-        comm_timer.SetArg("peer", static_cast<double>(peer));
-        fabric.Send(w, peer, std::move(req));
-        auto rep = fabric.Recv(w, tags::kAvgRep);
-        comm_timer.Stop();
-        if (!rep.has_value()) break;
 
         {
           common::MutexLock lock(model_mu[w]);
           auto& mine = models[w];
-          // Adopt the averaged model, then apply the local gradient.
-          for (std::size_t i = 0; i < dim; ++i) {
-            mine[i] = rep->data[i] - lr * grad[i];
+          if (gossiped) {
+            // Adopt the averaged model, then apply the local gradient.
+            for (std::size_t i = 0; i < dim; ++i) {
+              mine[i] = rep->data[i] - lr * grad[i];
+            }
+          } else {
+            // Degraded iterate: plain local SGD, no averaging.
+            for (std::size_t i = 0; i < dim; ++i) {
+              mine[i] -= lr * grad[i];
+            }
           }
           // Publish while still holding model_mu[0]: a responder may fold a
           // peer's gossip into models[0] at any moment. ParamBoard has its
@@ -139,7 +202,10 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
         if (w == 0) {
           rounds_done.fetch_add(1);
         }
+        if (lockstep) gate.ReleaseTurn(w);
       }
+      // Retire also releases a turn still held after a break.
+      if (lockstep) gate.Retire(w);
       workers_running.fetch_sub(1);
     });
   }
@@ -149,16 +215,25 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
   const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
-  // The canonical AD-PSGD model is the average over all replicas.
+  // The canonical AD-PSGD model is the average over the *surviving*
+  // replicas (a crashed worker's model froze at its death).
   std::vector<float> consensus(dim, 0.0f);
+  std::size_t survivors = 0;
   for (std::size_t w = 0; w < world; ++w) {
-    tensor::Axpy(1.0f / static_cast<float>(world), models[w], consensus);
+    if (faulty && !faults.Alive(w)) continue;
+    ++survivors;
+  }
+  RNA_CHECK_MSG(survivors > 0, "every AD-PSGD worker crashed");
+  for (std::size_t w = 0; w < world; ++w) {
+    if (faulty && !faults.Alive(w)) continue;
+    tensor::Axpy(1.0f / static_cast<float>(survivors), models[w], consensus);
   }
 
   TrainResult result;
   result.wall_seconds = wall_s;
   result.rounds = rounds_done.load();
   result.gradients_applied = gradients.load();
+  result.live_workers = faults.LiveCount();
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();

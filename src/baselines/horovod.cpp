@@ -5,7 +5,9 @@
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/obs/trace.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -28,6 +30,16 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
   const std::size_t world = config.world;
   net::Fabric fabric(world);
   const collectives::Group group = collectives::Group::Full(world);
+
+  // BSP cannot lose a member (Validate rejects crash and drop faults for
+  // Horovod), but hang/flaky schedules and delay faults apply: a straggling
+  // worker simply stalls the barrier, which is exactly the pathology the
+  // paper measures against.
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const bool faulty = config.fault.Enabled();
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -61,6 +73,10 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
           if (milestone == round) {
             optimizer.DecayLearningRate(config.lr_decay_factor);
           }
+        }
+        if (faulty) {
+          // Hang/flaky sleeps only; kCrash is unreachable here (Validate).
+          (void)faults.BeforeIteration(w, workers[w]->Iterations());
         }
         workers[w]->ComputeGradient(params,
                                     std::span<float>(buffer.data(), dim));
@@ -109,6 +125,7 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();
   result.round_contributors.assign(result.rounds, world);  // BSP: everyone
+  result.live_workers = faults.LiveCount();
   result.breakdown.resize(world);
   for (std::size_t w = 0; w < world; ++w) {
     result.breakdown[w] = workers[w]->Times();

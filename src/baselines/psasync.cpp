@@ -4,8 +4,11 @@
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
+#include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/worker.hpp"
@@ -28,6 +31,16 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
   RNA_CHECK_MSG(world >= 1, "need at least one worker");
   const net::Rank server_rank = world;
   net::Fabric fabric(world + 1);
+
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const bool faulty = config.fault.Enabled();
+  const bool lockstep = config.lockstep;
+  // Lockstep serializes the whole iterate (compute + PushPull) into rank
+  // order, so deltas reach the server in a replayable sequence.
+  RoundRobinGate gate(world);
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -55,6 +68,10 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
       const obs::TrackHandle track =
           obs::RegisterTrack(obs::WorkerTrack(w, "ps"));
       ps::PsClient client(fabric, w, server_rank);
+      if (faulty) {
+        client.ConfigureRetry(config.fault.retry_budget,
+                              config.fault.retry_timeout_s);
+      }
       std::vector<float> params = init;
       std::vector<float> grad(dim);
       std::vector<float> delta(dim);
@@ -62,6 +79,13 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
 
       for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
            ++iter) {
+        if (lockstep && !gate.AcquireTurn(w)) break;
+        if (faulty && faults.BeforeIteration(w, workers[w]->Iterations()) ==
+                          IterationFate::kCrash) {
+          faults.Kill(w);
+          obs::CountMetric("fault.worker.goodbyes");
+          break;  // gate.Retire below releases the rotation
+        }
         workers[w]->ComputeGradient(params, grad);
         // Push the SGD delta and pull the freshest model in one round trip
         // (the PS applies requests atomically in arrival order).
@@ -70,14 +94,30 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
         obs::ScopedTimer comm_timer(track, obs::Category::kComm,
                                     "push_pull", &wait_comm[w].comm);
         comm_timer.SetArg("iter", static_cast<double>(iter));
-        params = client.PushPull(delta, ps::ApplyMode::kAddDelta);
+        if (faulty) {
+          // At-least-once with bounded retry; a slow (not dropped) request
+          // can double-apply its delta — accepted as gradient noise on a
+          // lossy fabric (see PsClient). An exhausted budget skips the
+          // iterate's sync: the worker keeps its stale model and moves on.
+          if (auto pulled =
+                  client.TryPushPull(delta, ps::ApplyMode::kAddDelta)) {
+            params = std::move(*pulled);
+          } else {
+            obs::CountMetric("fault.ps_sync_skipped");
+          }
+        } else {
+          params = client.PushPull(delta, ps::ApplyMode::kAddDelta);
+        }
         comm_timer.Stop();
         gradients.fetch_add(1);
         if (w == 0) {
           board.Publish(params, static_cast<std::int64_t>(iter) + 1);
           rounds_done.fetch_add(1);
         }
+        if (lockstep) gate.ReleaseTurn(w);
       }
+      // Retire also releases a turn still held after a break.
+      if (lockstep) gate.Retire(w);
     });
   }
   for (auto& t : threads) t.join();
@@ -91,6 +131,7 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
   result.wall_seconds = wall_s;
   result.rounds = rounds_done.load();
   result.gradients_applied = gradients.load();
+  result.live_workers = faults.LiveCount();
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();

@@ -5,7 +5,9 @@
 #include "rna/baselines/baselines.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/obs/trace.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -41,6 +43,16 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
   const std::size_t world = config.world;
   RNA_CHECK_MSG(world >= 2, "SGP needs at least two workers");
   net::Fabric fabric(world);
+
+  // Like Horovod, SGP's fixed one-push-one-receive schedule cannot lose a
+  // member (Validate rejects crash and drop faults); hang/flaky/delay
+  // faults just stall the hop graph.
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const bool faulty = config.fault.Enabled();
+  const bool lockstep = config.lockstep;
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -79,10 +91,22 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
       const auto lr = static_cast<float>(config.sgd.learning_rate);
 
       for (std::size_t iter = 0; iter < config.max_rounds; ++iter) {
-        if (stop.load() || draining.load()) break;
+        // Under lockstep `draining` must not clip the loop: the first worker
+        // to finish its max_rounds iterations would race slower workers out
+        // of their final gradient, making gradients_applied (and the x of
+        // the clipped worker's out-neighbor) schedule-dependent. With every
+        // worker running the full count, the per-iteration permutation
+        // matches every push to exactly one receive, so nobody blocks.
+        // The receive poll below still honors draining, which is what
+        // unblocks workers when `stop` cuts a run short mid-wave.
+        if (stop.load() || (!lockstep && draining.load())) break;
 
         // Gradient at the de-biased point, applied to the biased model
         // scaled by ω (so the de-biased step is plain SGD).
+        if (faulty) {
+          // Hang/flaky sleeps only; kCrash is unreachable here (Validate).
+          (void)faults.BeforeIteration(w, workers[w]->Iterations());
+        }
         const auto inv_omega = static_cast<float>(1.0 / omega);
         for (std::size_t i = 0; i < dim; ++i) z[i] = x[i] * inv_omega;
         workers[w]->ComputeGradient(z, grad);
@@ -92,8 +116,16 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
 
         // Push half of (x, ω) to the out-neighbor; keep the other half.
         const std::size_t peer = OutNeighbor(w, iter, world);
+        // Parity tags pair a receive with *any* same-parity push in arrival
+        // order (wall-clock dependent). Lockstep uses iteration-unique tags
+        // so each receive pairs with exactly its in-neighbor's iteration-t
+        // push — the schedule becomes a deterministic wave. SGP's fabric
+        // carries only push traffic, so the open-ended tag range is safe.
+        const int push_tag =
+            lockstep ? kTagPush + static_cast<int>(iter)
+                     : kTagPush + static_cast<int>(iter % 2);
         net::Message push;
-        push.tag = kTagPush + static_cast<int>(iter % 2);
+        push.tag = push_tag;
         push.meta = {static_cast<std::int64_t>(iter)};
         push.data.resize(dim + 1);
         for (std::size_t i = 0; i < dim; ++i) {
@@ -109,8 +141,7 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
 
         std::optional<net::Message> in;
         for (;;) {
-          in = fabric.RecvFor(w, kTagPush + static_cast<int>(iter % 2),
-                              0.005);
+          in = fabric.RecvFor(w, push_tag, 0.005);
           if (in.has_value()) break;
           if (stop.load() || draining.load()) break;
         }
@@ -142,6 +173,7 @@ TrainResult RunSgp(const TrainerConfig& config, const ModelFactory& factory,
   result.wall_seconds = wall_s;
   result.rounds = rounds_done.load();
   result.gradients_applied = gradients.load();
+  result.live_workers = faults.LiveCount();
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();

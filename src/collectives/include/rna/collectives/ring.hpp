@@ -43,22 +43,44 @@ struct Group {
 void RingAllreduce(net::Fabric& fabric, const Group& group,
                    std::size_t my_index, std::span<float> data, int tag_base);
 
+/// Timed variant: each of the 2(N−1) hop receives waits at most
+/// `hop_timeout` seconds (0 or negative = wait forever). Returns false when
+/// a hop timed out or the fabric shut down — i.e. a group member crashed
+/// mid-collective — leaving `data` in an undefined partial state; the
+/// caller must abort the round and discard the buffer. This is what keeps a
+/// mid-ring crash from deadlocking every survivor in Recv.
+bool RingAllreduceFor(net::Fabric& fabric, const Group& group,
+                      std::size_t my_index, std::span<float> data,
+                      int tag_base, common::Seconds hop_timeout);
+
 struct PartialResult {
   /// Number of ranks that contributed a real gradient (Σw).
   std::size_t contributors = 0;
+  /// False when the collective aborted (member crash / timeout / shutdown);
+  /// the data buffer is zeroed and contributors is 0 in that case.
+  bool ok = true;
 };
 
 /// Partial allreduce (Algorithm 2): ranks with `contributes == false` send a
 /// null gradient (their buffer is zeroed on entry). On exit every member's
 /// buffer holds (Σ contributed gradients) / Σw — the weighted average — or
-/// all zeros when nobody contributed.
+/// all zeros when nobody contributed. `hop_timeout` > 0 bounds each hop
+/// receive; on timeout the result has ok == false (see RingAllreduceFor).
 PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
                                    std::size_t my_index, std::span<float> data,
-                                   bool contributes, int tag_base);
+                                   bool contributes, int tag_base,
+                                   common::Seconds hop_timeout = 0.0);
 
 /// Star broadcast from `root_index` to all other members.
 void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
                std::size_t root_index, std::span<float> data, int tag_base);
+
+/// Timed broadcast receive (the root never blocks): false when the root's
+/// message did not arrive within `timeout` (0 or negative = wait forever).
+bool BroadcastFor(net::Fabric& fabric, const Group& group,
+                  std::size_t my_index, std::size_t root_index,
+                  std::span<float> data, int tag_base,
+                  common::Seconds timeout);
 
 /// Full barrier over the group (gather-to-first + release).
 void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,

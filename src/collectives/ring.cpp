@@ -38,17 +38,22 @@ Group Group::Full(std::size_t world) {
   return g;
 }
 
-void RingAllreduce(net::Fabric& fabric, const Group& group,
-                   std::size_t my_index, std::span<float> data, int tag_base) {
+bool RingAllreduceFor(net::Fabric& fabric, const Group& group,
+                      std::size_t my_index, std::span<float> data,
+                      int tag_base, common::Seconds hop_timeout) {
   const std::size_t world = group.Size();
   RNA_CHECK_MSG(world > 0 && my_index < world, "bad group index");
-  if (world == 1) return;
+  if (world == 1) return true;
 
   const Rank self = group.At(my_index);
   const Rank right = group.At((my_index + 1) % world);
   const auto offsets = ChunkOffsets(data.size(), world);
   auto chunk = [&](std::size_t c) {
     return data.subspan(offsets[c], offsets[c + 1] - offsets[c]);
+  };
+  auto recv_hop = [&](int tag) {
+    return hop_timeout > 0.0 ? fabric.RecvFor(self, tag, hop_timeout)
+                             : fabric.Recv(self, tag);
   };
 
   // Reduce-scatter: after world−1 steps this rank owns the fully reduced
@@ -62,8 +67,8 @@ void RingAllreduce(net::Fabric& fabric, const Group& group,
     msg.data.assign(out.begin(), out.end());
     fabric.Send(self, right, std::move(msg));
 
-    auto in = fabric.Recv(self, tag_base + static_cast<int>(step));
-    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-collective");
+    auto in = recv_hop(tag_base + static_cast<int>(step));
+    if (!in.has_value()) return false;
     auto target = chunk(recv_chunk);
     RNA_CHECK_MSG(in->data.size() == target.size(),
                   "collective chunk size mismatch");
@@ -80,18 +85,27 @@ void RingAllreduce(net::Fabric& fabric, const Group& group,
     msg.data.assign(out.begin(), out.end());
     fabric.Send(self, right, std::move(msg));
 
-    auto in = fabric.Recv(self, tag_base + static_cast<int>(world + step));
-    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-collective");
+    auto in = recv_hop(tag_base + static_cast<int>(world + step));
+    if (!in.has_value()) return false;
     auto target = chunk(recv_chunk);
     RNA_CHECK_MSG(in->data.size() == target.size(),
                   "collective chunk size mismatch");
     std::copy(in->data.begin(), in->data.end(), target.begin());
   }
+  return true;
+}
+
+void RingAllreduce(net::Fabric& fabric, const Group& group,
+                   std::size_t my_index, std::span<float> data, int tag_base) {
+  RNA_CHECK_MSG(RingAllreduceFor(fabric, group, my_index, data, tag_base,
+                                 /*hop_timeout=*/0.0),
+                "fabric shut down mid-collective");
 }
 
 PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
                                    std::size_t my_index, std::span<float> data,
-                                   bool contributes, int tag_base) {
+                                   bool contributes, int tag_base,
+                                   common::Seconds hop_timeout) {
   // The contributor flag travels as one extra element appended to the
   // payload, so a single ring pass reduces both gradient and Σw.
   std::vector<float> buffer(data.size() + 1);
@@ -103,9 +117,16 @@ PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
     buffer.back() = 0.0f;
   }
 
-  RingAllreduce(fabric, group, my_index, buffer, tag_base);
-
   PartialResult result;
+  if (!RingAllreduceFor(fabric, group, my_index, buffer, tag_base,
+                        hop_timeout)) {
+    // Aborted mid-ring (member crash or shutdown): the partial sums are
+    // meaningless — zero the output and tell the caller to skip the step.
+    RNA_CHECK_MSG(hop_timeout > 0.0, "fabric shut down mid-collective");
+    std::fill(data.begin(), data.end(), 0.0f);
+    result.ok = false;
+    return result;
+  }
   result.contributors =
       static_cast<std::size_t>(std::lround(buffer.back()));
   if (result.contributors > 0) {
@@ -117,11 +138,13 @@ PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
   return result;
 }
 
-void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
-               std::size_t root_index, std::span<float> data, int tag_base) {
+bool BroadcastFor(net::Fabric& fabric, const Group& group,
+                  std::size_t my_index, std::size_t root_index,
+                  std::span<float> data, int tag_base,
+                  common::Seconds timeout) {
   const std::size_t world = group.Size();
   RNA_CHECK_MSG(my_index < world && root_index < world, "bad group index");
-  if (world == 1) return;
+  if (world == 1) return true;
   const Rank self = group.At(my_index);
   if (my_index == root_index) {
     for (std::size_t i = 0; i < world; ++i) {
@@ -132,11 +155,20 @@ void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
       fabric.Send(self, group.At(i), std::move(msg));
     }
   } else {
-    auto in = fabric.Recv(self, tag_base);
-    RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-broadcast");
+    auto in = timeout > 0.0 ? fabric.RecvFor(self, tag_base, timeout)
+                            : fabric.Recv(self, tag_base);
+    if (!in.has_value()) return false;
     RNA_CHECK_MSG(in->data.size() == data.size(), "broadcast size mismatch");
     std::copy(in->data.begin(), in->data.end(), data.begin());
   }
+  return true;
+}
+
+void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
+               std::size_t root_index, std::span<float> data, int tag_base) {
+  RNA_CHECK_MSG(BroadcastFor(fabric, group, my_index, root_index, data,
+                             tag_base, /*timeout=*/0.0),
+                "fabric shut down mid-broadcast");
 }
 
 void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -5,9 +6,12 @@
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
+#include "rna/sim/workload.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -25,6 +29,15 @@ using namespace rna::train;
 // inside the group. Groups never barrier against each other — the PS serves
 // them asynchronously in arrival order, which is what defuses the
 // deterministic slowdown that defeats purely probabilistic approaches.
+//
+// Fault model (see DESIGN.md): membership travels in every Go message, the
+// round's lowest-ranked survivor acts as group leader (PS sync + broadcast
+// root + board publisher), mid-ring crashes abort the round via hop
+// timeouts, and the PS sync degrades to skip-and-continue when the retry
+// budget is exhausted. Under TrainerConfig::lockstep the grouping is
+// computed from the *nominal* delay model (no wall-clock race) and PS syncs
+// are serialized into (sync round, group id) order by a RoundRobinGate, so
+// the whole run replays bit-identically.
 TrainResult RunHierarchicalRna(const TrainerConfig& config,
                                const ModelFactory& factory,
                                const data::Dataset& train_data,
@@ -36,11 +49,30 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   const std::size_t dim = workers[0]->Dim();
   const std::vector<float> init = InitialParams(config, factory);
 
+  const bool faulty = config.fault.Enabled();
+  const bool lockstep = config.lockstep;
+
   // ---- calibration + grouping (ζ > v rule) ------------------------------
   std::vector<double> iter_times(world);
-  for (std::size_t w = 0; w < world; ++w) {
-    iter_times[w] = workers[w]->MeasureIterationTime(
-        init, std::max<std::size_t>(1, config.calibration_iters));
+  const std::size_t calib = std::max<std::size_t>(1, config.calibration_iters);
+  if (lockstep) {
+    // Deterministic calibration: average the injected-delay model's nominal
+    // samples (same seed stream the workers will use) instead of racing
+    // wall clocks, so the grouping replays bit-identically.
+    for (std::size_t w = 0; w < world; ++w) {
+      double sum = 0.0;
+      if (config.delay_model) {
+        common::Rng rng(config.seed + 2000 + 97 * w);
+        for (std::size_t i = 0; i < calib; ++i) {
+          sum += config.delay_model->Sample(w, i, rng) * config.delay_scale;
+        }
+      }
+      iter_times[w] = sum / static_cast<double>(calib);
+    }
+  } else {
+    for (std::size_t w = 0; w < world; ++w) {
+      iter_times[w] = workers[w]->MeasureIterationTime(init, calib);
+    }
   }
   const std::vector<std::size_t> group_of = ComputeSpeedGroups(iter_times);
   std::size_t num_groups = 0;
@@ -57,6 +89,19 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   const net::Rank ps_rank = world + num_groups;
   net::Fabric fabric(world + num_groups + 1);
 
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const common::Seconds ring_timeout =
+      faulty ? config.fault.collective_timeout_s : 0.0;
+  const common::Seconds report_budget =
+      config.fault.collective_timeout_s + config.fault.probe_timeout_s;
+  // Serializes the group leaders' PS syncs into (sync round, group id)
+  // order under lockstep; unused otherwise (the async free-for-all *is* the
+  // paper's design).
+  RoundRobinGate ps_gate(num_groups);
+
   ps::ParameterServer server(fabric, ps_rank, init);
   server.Start();
 
@@ -71,7 +116,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   std::atomic<bool> global_stop{false};
   std::atomic<std::size_t> rounds_done{0};
   std::atomic<std::size_t> batches_applied{0};
-  // Written only by worker 0's group controller, read after joins.
+  // Written only by rank 0's group controller, read after joins.
   std::vector<std::size_t> round_contributors;
 
   EvalMonitor monitor(config, factory, val_data);
@@ -89,30 +134,88 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
     comm_threads.emplace_back([&, w] {
       const obs::TrackHandle track =
           obs::RegisterTrack(obs::WorkerTrack(w, "comm"));
-      const collectives::Group& group = groups[group_of[w]];
-      const std::size_t my_index = group.IndexOf(w);
-      const net::Rank my_controller = first_controller + group_of[w];
-      const std::size_t group_size = group.Size();
+      const std::size_t g = group_of[w];
+      const collectives::Group& full_group = groups[g];
+      const net::Rank my_controller = first_controller + g;
+      const std::size_t group_size = full_group.Size();
 
       std::vector<float> params = init;
       std::vector<float> buffer(dim);
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
       ps::PsClient ps_client(fabric, w, ps_rank);
-      std::int64_t published = 0;
-
+      if (faulty) {
+        ps_client.ConfigureRetry(config.fault.retry_budget,
+                                 config.fault.retry_timeout_s);
+      }
+      bool died = false;
       for (;;) {
-        obs::ScopedTimer wait_timer(track, obs::Category::kWait,
-                                    "wait_trigger", &comm_times[w].wait);
-        auto go = fabric.Recv(w, tags::kGo);
-        wait_timer.Stop();
-        if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
+        std::optional<net::Message> go;
+        {
+          obs::ScopedTimer wait_timer(track, obs::Category::kWait,
+                                      "wait_trigger", &comm_times[w].wait);
+          if (faulty) {
+            while (!(go = fabric.RecvFor(w, tags::kGo, 0.05)).has_value()) {
+              if (global_stop.load() || fabric.IsClosed(w) ||
+                  !faults.Alive(w)) {
+                break;
+              }
+            }
+          } else {
+            // Lossless fast path: without fault injection nothing can
+            // drop the Go, and Shutdown() wakes the wait.
+            go = fabric.Recv(w, tags::kGo);  // lint:allow(untimed-recv)
+          }
+        }
+        if (!go.has_value()) {
+          died = faulty && !faults.Alive(w);
+          break;
+        }
+        if (go->meta.empty() || go->meta[0] < 0) break;
         const auto round = static_cast<std::size_t>(go->meta[0]);
+
+        if (faults.ShouldCrashInRound(w, round)) {
+          faults.Kill(w);
+          obs::ScopedTimer crash_span(track, obs::Category::kFault, "crash");
+          crash_span.SetArg("round", static_cast<double>(round));
+          net::Message bye;
+          bye.tag = tags::kGoodbye;
+          bye.meta = {go->meta[0]};
+          fabric.Send(w, my_controller, std::move(bye));
+          died = true;
+          break;
+        }
+        if (faulty && !faults.Alive(w)) {
+          died = true;
+          break;
+        }
+
+        // Round membership (survivors of this group) from the Go.
+        collectives::Group group;
+        if (go->meta.size() > 2) {
+          for (std::size_t i = 2; i < go->meta.size(); ++i) {
+            group.members.push_back(static_cast<net::Rank>(go->meta[i]));
+          }
+        } else {
+          group = full_group;
+        }
+        const auto member_it =
+            std::find(group.members.begin(), group.members.end(), w);
+        if (member_it == group.members.end()) continue;
+        const std::size_t my_index =
+            static_cast<std::size_t>(member_it - group.members.begin());
+        const bool leader = my_index == 0;
 
         // Step LR schedule: every worker decays at the same round.
         for (std::size_t milestone : config.lr_decay_rounds) {
           if (milestone == round) {
             optimizer.DecayLearningRate(config.lr_decay_factor);
           }
+        }
+
+        if (faulty && round > 0) {
+          fabric.Purge(w, tags::kRingBase, tags::RingTag(round) - 1);
+          fabric.Purge(w, tags::kGroupCastBase,
+                       tags::GroupCastTag(round) - 1);
         }
 
         auto drained = stages[w]->Drain();
@@ -131,11 +234,17 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           comm_timer.SetArg("round", static_cast<double>(round));
           reduced = collectives::RingPartialAllreduce(
               fabric, group, my_index, buffer, contributes,
-              tags::RingTag(round));
+              tags::RingTag(round), ring_timeout);
           comm_timer.SetArg("contributors",
                             static_cast<double>(reduced.contributors));
         }
-        if (reduced.contributors > 0) {
+        if (!reduced.ok) {
+          obs::ScopedTimer abort_span(track, obs::Category::kFault,
+                                      "collective_abort");
+          abort_span.SetArg("round", static_cast<double>(round));
+          obs::CountMetric("fault.collective_aborts");
+        }
+        if (reduced.ok && reduced.contributors > 0) {
           const double scale =
               config.lr_policy == LrScalePolicy::kLinear
                   ? static_cast<double>(reduced.contributors) /
@@ -145,34 +254,67 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
         }
 
         // Asynchronous cross-group averaging through the PS (§4 phases
-        // 2–3): the group leader pushes the group model, pulls back the
-        // running average, and broadcasts it within the group.
-        if (config.ps_sync_every > 0 && round % config.ps_sync_every == 0) {
-          if (my_index == 0) {
+        // 2–3): the round's leader pushes the group model, pulls back the
+        // running average, and broadcasts it within the group. Skipped
+        // after an aborted collective (the group model is stale, not
+        // wrong — the next sync folds it in).
+        if (reduced.ok && config.ps_sync_every > 0 &&
+            round % config.ps_sync_every == 0) {
+          if (leader) {
             obs::ScopedTimer ps_timer(track, obs::Category::kComm,
                                       "ps_push_pull", &comm_times[w].comm);
             ps_timer.SetArg("round", static_cast<double>(round));
-            params = ps_client.PushPull(params, ps::ApplyMode::kAverage);
+            bool turn = true;
+            if (lockstep) {
+              // Deterministic PS ordering; under faults the wait is
+              // bounded so a hung group ahead in the rotation cannot
+              // stall this one forever.
+              turn = faulty ? ps_gate.AcquireTurnFor(
+                                  g, config.fault.collective_timeout_s)
+                            : ps_gate.AcquireTurn(g);
+            }
+            if (turn) {
+              if (auto avg =
+                      ps_client.TryPushPull(params, ps::ApplyMode::kAverage)) {
+                params = std::move(*avg);
+              } else {
+                // Retry budget exhausted: keep the local group model and
+                // catch up at the next sync.
+                obs::CountMetric("fault.ps_sync_skipped");
+              }
+              if (lockstep) ps_gate.ReleaseTurn(g);
+            } else {
+              obs::CountMetric("fault.ps_turn_timeouts");
+            }
           }
+          // The leader broadcasts whatever it ended up with (averaged or,
+          // after a skipped sync, local), so followers never block on a
+          // sync that didn't happen.
           obs::ScopedTimer bcast_timer(track, obs::Category::kComm,
                                        "group_broadcast",
                                        &comm_times[w].comm);
           bcast_timer.SetArg("round", static_cast<double>(round));
-          collectives::Broadcast(
-              fabric, group, my_index, 0, params,
-              tags::kGroupRing + static_cast<int>(round % 2));
+          const bool cast_ok = collectives::BroadcastFor(
+              fabric, group, my_index, 0, params, tags::GroupCastTag(round),
+              ring_timeout);
+          if (!cast_ok) obs::CountMetric("fault.broadcast_timeouts");
         }
 
-        if (w == 0) board.Publish(params, ++published);
+        // The lowest-ranked survivor of rank 0's group publishes for the
+        // monitor.
+        if (g == group_of[0] && leader) {
+          board.Publish(params, static_cast<std::int64_t>(round) + 1);
+        }
 
         net::Message report;
         report.tag = tags::kRoundEnd;
         report.meta = {go->meta[0],
                        contributes ? static_cast<std::int64_t>(drained->count)
-                                   : 0};
+                                   : 0,
+                       reduced.ok ? 0 : 1};
         fabric.Send(w, my_controller, std::move(report));
       }
-      global_stop.store(true);
+      if (!died) global_stop.store(true);
       final_params[w] = std::move(params);
     });
   }
@@ -186,7 +328,46 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       std::vector<float> params = init;
       std::vector<float> grad(dim);
       std::int64_t seen = 0;
+      auto crash_now = [&](std::int64_t round_hint) {
+        faults.Kill(w);
+        obs::CountMetric("fault.worker.goodbyes");
+        net::Message bye;
+        bye.tag = tags::kGoodbye;
+        bye.meta = {round_hint};
+        fabric.Send(w, my_controller, std::move(bye));
+      };
+      if (lockstep) {
+        for (;;) {
+          std::optional<net::Message> token;
+          while (!(token = fabric.RecvFor(w, tags::kStep, 0.05))
+                      .has_value()) {
+            if (global_stop.load() || fabric.IsClosed(w)) return;
+          }
+          if (token->meta.empty() || token->meta[0] < 0) return;
+          if (!faults.Alive(w)) return;
+          if (faulty && faults.BeforeIteration(w, workers[w]->Iterations()) ==
+                            IterationFate::kCrash) {
+            crash_now(token->meta[0]);
+            return;
+          }
+          seen = board.ReadIfNewer(seen, &params);
+          workers[w]->ComputeGradient(params, grad);
+          stages[w]->Write(grad,
+                           static_cast<std::int64_t>(workers[w]->Iterations()));
+          net::Message ready;
+          ready.tag = tags::kReady;
+          fabric.Send(w, my_controller, std::move(ready));
+        }
+      }
       while (!global_stop.load(std::memory_order_relaxed)) {
+        if (faulty) {
+          if (!faults.Alive(w)) return;
+          if (faults.BeforeIteration(w, workers[w]->Iterations()) ==
+              IterationFate::kCrash) {
+            crash_now(-1);
+            return;
+          }
+        }
         seen = board.ReadIfNewer(seen, &params);
         workers[w]->ComputeGradient(params, grad);
         const bool grew = stages[w]->Write(
@@ -208,56 +389,227 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       const obs::TrackHandle track = obs::RegisterTrack(
           "group" + std::to_string(g) + "/controller");
       const collectives::Group& group = groups[g];
-      const net::Rank self = first_controller + g;
       const std::size_t group_size = group.Size();
       common::Rng rng(config.seed + 9101 + 7 * g);
       auto policy = MakeProbePolicy(config.probe_choices);
       std::vector<std::int64_t> ready(group_size, 0);
+      std::vector<bool> live(group_size, true);
+      std::vector<std::size_t> miss_count(group_size, 0);
+      std::vector<bool> responded(group_size, false);
 
       auto index_of = [&](net::Rank rank) { return group.IndexOf(rank); };
-      auto broadcast_go = [&](std::int64_t round, std::int64_t last) {
+      auto live_members = [&] {
+        std::vector<net::Rank> members;
         for (std::size_t i = 0; i < group_size; ++i) {
+          if (live[i]) members.push_back(group.At(i));
+        }
+        return members;
+      };
+      auto note_goodbye = [&](net::Rank src, std::size_t round) {
+        const std::size_t idx = index_of(src);
+        if (!live[idx]) return;
+        live[idx] = false;
+        faults.Kill(src);
+        ready[idx] = 0;
+        obs::CountMetric("fault.controller.deaths");
+        obs::ScopedTimer death_span(track, obs::Category::kFault,
+                                    "worker_death");
+        death_span.SetArg("rank", static_cast<double>(src));
+        death_span.SetArg("round", static_cast<double>(round));
+      };
+      auto broadcast_exit = [&] {
+        for (std::size_t i = 0; i < group_size; ++i) {
+          const net::Rank self = first_controller + g;
           net::Message go;
           go.tag = tags::kGo;
-          go.meta = {round, last};
+          go.meta = {-1, 1};
           fabric.Send(self, group.At(i), std::move(go));
+          net::Message step;
+          step.tag = tags::kStep;
+          step.meta = {-1};
+          fabric.Send(self, group.At(i), std::move(step));
         }
       };
+      const net::Rank self = first_controller + g;
 
-      for (std::size_t round = 0;
-           round < config.max_rounds && !global_stop.load(); ++round) {
+      std::size_t round = 0;
+      for (; round < config.max_rounds && !global_stop.load(); ++round) {
+        std::vector<net::Rank> members = live_members();
+        if (members.empty()) break;
         policy->BeginRound(group_size, rng);
-        {
+
+        if (lockstep) {
+          for (net::Rank m : members) {
+            net::Message step;
+            step.tag = tags::kStep;
+            step.meta = {static_cast<std::int64_t>(round)};
+            fabric.Send(self, m, std::move(step));
+          }
+          std::fill(responded.begin(), responded.end(), false);
+          std::size_t got = 0;
+          const int ack_tags[] = {tags::kReady, tags::kGoodbye};
+          obs::ScopedTimer step_timer(track, obs::Category::kWait,
+                                      "step_wait");
+          step_timer.SetArg("round", static_cast<double>(round));
+          while (got < members.size() && !stop.load() &&
+                 !global_stop.load()) {
+            std::optional<net::Message> msg;
+            if (faulty) {
+              const common::Seconds left =
+                  report_budget - step_timer.Elapsed();
+              if (left <= 0.0) break;
+              msg = fabric.RecvAnyFor(self, ack_tags, left);
+              if (!msg.has_value()) break;
+            } else {
+              // Lossless fast path: every live member acks its step
+              // token, and Shutdown() wakes the wait.
+              msg = fabric.RecvAny(  // lint:allow(untimed-recv)
+                  self, ack_tags);
+              if (!msg.has_value()) return;
+            }
+            const std::size_t idx = index_of(msg->src);
+            if (msg->tag == tags::kGoodbye) {
+              note_goodbye(msg->src, round);
+              if (!responded[idx]) {
+                responded[idx] = true;
+                ++got;
+              }
+              continue;
+            }
+            if (live[idx]) ++ready[idx];
+            if (!responded[idx]) {
+              responded[idx] = true;
+              ++got;
+            }
+          }
+          step_timer.Stop();
+          if (stop.load() || global_stop.load()) break;
+          members = live_members();
+          if (members.empty()) break;
+        } else {
           obs::ScopedTimer probe_timer(track, obs::Category::kWait,
                                        "probe_wait");
           probe_timer.SetArg("round", static_cast<double>(round));
+          common::Seconds election_start = 0.0;
           while (!stop.load() && !global_stop.load()) {
             while (auto note = fabric.TryRecv(self, tags::kReady)) {
-              ++ready[index_of(note->src)];
+              const std::size_t idx = index_of(note->src);
+              if (live[idx]) ++ready[idx];
+            }
+            if (faulty) {
+              while (auto bye = fabric.TryRecv(self, tags::kGoodbye)) {
+                note_goodbye(bye->src, round);
+              }
+              while (auto late = fabric.TryRecv(self, tags::kRoundEnd)) {
+                const std::size_t idx = index_of(late->src);
+                ready[idx] -= late->meta[1];
+                miss_count[idx] = 0;
+                const bool was_aborted =
+                    late->meta.size() > 2 && late->meta[2] != 0;
+                if (!was_aborted) {
+                  batches_applied.fetch_add(
+                      static_cast<std::size_t>(late->meta[1]));
+                }
+              }
+              if (live_members().empty()) break;
             }
             if (policy->ShouldTrigger(ready)) break;
+            if (faulty &&
+                probe_timer.Elapsed() - election_start >
+                    config.fault.probe_timeout_s) {
+              bool any_ready = false;
+              for (std::size_t i = 0; i < group_size; ++i) {
+                if (live[i] && ready[i] > 0) any_ready = true;
+              }
+              if (any_ready) {
+                obs::CountMetric("fault.forced_triggers");
+                break;
+              }
+              policy->BeginRound(group_size, rng);
+              obs::CountMetric("fault.reelections");
+              election_start = probe_timer.Elapsed();
+            }
             auto note = fabric.RecvFor(self, tags::kReady, 0.002);
-            if (note.has_value()) ++ready[index_of(note->src)];
+            if (note.has_value()) {
+              const std::size_t idx = index_of(note->src);
+              if (live[idx]) ++ready[idx];
+            }
           }
+          if (stop.load() || global_stop.load()) break;
+          members = live_members();
+          if (members.empty()) break;
         }
-        if (stop.load() || global_stop.load()) break;
 
         obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
         round_timer.SetArg("round", static_cast<double>(round));
-        broadcast_go(static_cast<std::int64_t>(round), 0);
-        const int both[] = {tags::kRoundEnd, tags::kReady};
+        for (net::Rank m : members) {
+          net::Message go;
+          go.tag = tags::kGo;
+          go.meta = {static_cast<std::int64_t>(round), 0};
+          for (net::Rank r : members) {
+            go.meta.push_back(static_cast<std::int64_t>(r));
+          }
+          fabric.Send(self, m, std::move(go));
+        }
+        const int want[] = {tags::kRoundEnd, tags::kReady, tags::kGoodbye};
         std::size_t contributors = 0;
-        for (std::size_t reports = 0; reports < group_size;) {
-          auto msg = fabric.RecvAny(self, both);
-          if (!msg.has_value()) return;
+        std::size_t reports = 0;
+        std::fill(responded.begin(), responded.end(), false);
+        obs::ScopedTimer report_timer(track, obs::Category::kWait,
+                                      "report_wait");
+        while (reports < members.size()) {
+          std::optional<net::Message> msg;
+          if (faulty) {
+            const common::Seconds left =
+                report_budget - report_timer.Elapsed();
+            if (left <= 0.0) break;
+            msg = fabric.RecvAnyFor(self, want, left);
+            if (!msg.has_value()) break;
+          } else {
+            // Lossless fast path: every member reports its round end,
+            // and Shutdown() wakes the wait.
+            msg = fabric.RecvAny(self, want);  // lint:allow(untimed-recv)
+            if (!msg.has_value()) return;
+          }
+          const std::size_t idx = index_of(msg->src);
           if (msg->tag == tags::kReady) {
-            ++ready[index_of(msg->src)];
+            if (live[idx]) ++ready[idx];
             continue;
           }
-          ready[index_of(msg->src)] -= msg->meta[1];
-          batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
-          if (msg->meta[1] > 0) ++contributors;
-          ++reports;
+          if (msg->tag == tags::kGoodbye) {
+            note_goodbye(msg->src, round);
+            const bool is_member = std::find(members.begin(), members.end(),
+                                             msg->src) != members.end();
+            if (is_member && !responded[idx]) {
+              responded[idx] = true;
+              ++reports;
+            }
+            continue;
+          }
+          ready[idx] -= msg->meta[1];
+          miss_count[idx] = 0;
+          const bool aborted = msg->meta.size() > 2 && msg->meta[2] != 0;
+          if (!aborted) {
+            batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
+          }
+          if (static_cast<std::size_t>(msg->meta[0]) != round) continue;
+          if (!responded[idx]) {
+            responded[idx] = true;
+            ++reports;
+          }
+          if (!aborted && msg->meta[1] > 0) ++contributors;
+        }
+        report_timer.Stop();
+        if (reports < members.size()) {
+          for (net::Rank m : members) {
+            const std::size_t idx = index_of(m);
+            if (responded[idx] || !live[idx]) continue;
+            if (++miss_count[idx] >= config.fault.dead_after_misses) {
+              note_goodbye(m, round);
+              obs::CountMetric("fault.declared_dead");
+            }
+          }
+          obs::CountMetric("fault.report_deadline_misses");
         }
         round_timer.SetArg("contributors", static_cast<double>(contributors));
         obs::ObserveMetric("round.contributors",
@@ -268,7 +620,10 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           rounds_done.fetch_add(1);
         }
       }
-      broadcast_go(-1, 1);
+      broadcast_exit();
+      // Free any leader of another group still waiting for this group's
+      // PS-sync turn.
+      ps_gate.Retire(g);
     });
   }
 
@@ -290,18 +645,26 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();
   result.round_contributors = std::move(round_contributors);
+  result.live_workers = faults.LiveCount();
   result.breakdown.resize(world);
   for (std::size_t w = 0; w < world; ++w) {
     result.breakdown[w] = workers[w]->Times();
     result.breakdown[w].wait = comm_times[w].wait;
     result.breakdown[w].comm = comm_times[w].comm;
   }
-  result.final_params = final_params[0];
-  const nn::BatchResult final_eval = monitor.FullEval(final_params[0]);
+  std::size_t reporter = 0;
+  for (std::size_t w = 0; w < world; ++w) {
+    if (faults.Alive(w)) {
+      reporter = w;
+      break;
+    }
+  }
+  result.final_params = final_params[reporter];
+  const nn::BatchResult final_eval = monitor.FullEval(result.final_params);
   result.final_loss = final_eval.loss;
   result.final_accuracy = final_eval.Accuracy();
   result.final_train_loss =
-      EvaluateDataset(workers[0]->Net(), final_params[0], train_data, 2048)
+      EvaluateDataset(workers[0]->Net(), result.final_params, train_data, 2048)
           .loss;
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rna/common/check.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 
@@ -44,6 +45,15 @@ std::optional<Message> Mailbox::Get(int tag) {
 
 std::optional<Message> Mailbox::GetFor(int tag, common::Seconds timeout) {
   const int tags[] = {tag};
+  return GetAnyFor(tags, timeout);
+}
+
+std::optional<Message> Mailbox::GetAnyFor(std::span<const int> tags,
+                                          common::Seconds timeout) {
+  if (timeout <= 0.0) {  // degenerate to a non-blocking poll
+    common::MutexLock lock(mu_);
+    return PopLocked(tags);
+  }
   const auto deadline =
       common::SteadyClock::now() + common::FromSeconds(timeout);
   common::MutexLock lock(mu_);
@@ -54,6 +64,15 @@ std::optional<Message> Mailbox::GetFor(int tag, common::Seconds timeout) {
       return PopLocked(tags);  // final chance after the timeout
     }
   }
+}
+
+std::size_t Mailbox::PurgeTagRange(int tag_lo, int tag_hi) {
+  common::MutexLock lock(mu_);
+  const std::size_t before = messages_.size();
+  std::erase_if(messages_, [&](const Message& m) {
+    return m.tag >= tag_lo && m.tag <= tag_hi;
+  });
+  return before - messages_.size();
 }
 
 std::optional<Message> Mailbox::GetAny(std::span<const int> tags) {
@@ -69,6 +88,11 @@ std::optional<Message> Mailbox::TryGet(int tag) {
   const int tags[] = {tag};
   common::MutexLock lock(mu_);
   return PopLocked(tags);
+}
+
+bool Mailbox::IsClosed() const {
+  common::MutexLock lock(mu_);
+  return closed_;
 }
 
 std::size_t Mailbox::Pending(int tag) const {
@@ -93,9 +117,19 @@ Fabric::Fabric(std::size_t endpoints, LatencyModel latency)
   for (std::size_t i = 0; i < endpoints; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
-  if (latency_) {
+  if (latency_) EnsureTimerThread();
+}
+
+void Fabric::EnsureTimerThread() {
+  if (!timer_thread_.joinable()) {
     timer_thread_ = std::thread([this] { TimerLoop(); });
   }
+}
+
+void Fabric::InstallFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+  // Delay faults need the delivery timer even without a latency model.
+  if (fault_plan_) EnsureTimerThread();
 }
 
 Fabric::~Fabric() {
@@ -121,14 +155,33 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
   }
   obs::CountMetric("fabric.messages");
   obs::CountMetric("fabric.bytes", static_cast<std::int64_t>(bytes));
-  common::Seconds delay = 0.0;
-  if (latency_) delay = latency_(from, to, bytes);
+  FaultDecision fault;
+  if (fault_plan_) fault = fault_plan_->Decide(from, to, msg.tag);
+  if (fault.drop) {
+    // The sender already paid for the bytes (stats above); the message
+    // simply never arrives — exactly a lossy link.
+    obs::CountMetric("fault.net.dropped");
+    return;
+  }
+  if (fault.duplicate) obs::CountMetric("fault.net.duplicated");
+  if (fault.extra_delay > 0.0) {
+    obs::CountMetric("fault.net.delayed");
+    obs::ObserveMetric("fault.net.extra_delay_s", fault.extra_delay);
+  }
+  common::Seconds delay = fault.extra_delay;
+  if (latency_) delay += latency_(from, to, bytes);
   if (delay <= 0.0) {
+    if (fault.duplicate) mailboxes_[to]->Put(msg);
     mailboxes_[to]->Put(std::move(msg));
     return;
   }
   obs::CountMetric("fabric.delayed_messages");
   obs::ObserveMetric("fabric.injected_delay_s", delay);
+  if (fault.duplicate) EnqueueDelayed(to, msg, delay);
+  EnqueueDelayed(to, std::move(msg), delay);
+}
+
+void Fabric::EnqueueDelayed(Rank to, Message msg, common::Seconds delay) {
   const auto now = common::SteadyClock::now();
   {
     common::MutexLock lock(timer_mu_);
@@ -195,6 +248,22 @@ std::optional<Message> Fabric::RecvFor(Rank at, int tag,
 std::optional<Message> Fabric::RecvAny(Rank at, std::span<const int> tags) {
   RNA_CHECK(at < Size());
   return mailboxes_[at]->GetAny(tags);
+}
+
+std::optional<Message> Fabric::RecvAnyFor(Rank at, std::span<const int> tags,
+                                          common::Seconds timeout) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->GetAnyFor(tags, timeout);
+}
+
+std::size_t Fabric::Purge(Rank at, int tag_lo, int tag_hi) {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->PurgeTagRange(tag_lo, tag_hi);
+}
+
+bool Fabric::IsClosed(Rank at) const {
+  RNA_CHECK(at < Size());
+  return mailboxes_[at]->IsClosed();
 }
 
 std::optional<Message> Fabric::TryRecv(Rank at, int tag) {

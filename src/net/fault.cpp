@@ -1,0 +1,85 @@
+#include "rna/net/fault.hpp"
+
+#include <algorithm>
+
+#include "rna/common/rng.hpp"
+
+namespace rna::net {
+
+namespace {
+
+// One SplitMix64 absorption step: mixes `v` into the running hash `h`.
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  common::SplitMix64 sm(h ^ (v + 0x9e3779b97f4a7c15ULL));
+  return sm.Next();
+}
+
+std::uint64_t StreamKey(Rank from, Rank to, int tag) {
+  // Ranks in this repo are < 2^14 (worlds of at most a few hundred); tags
+  // fit in 32 bits. Pack (from, to, tag) so one word identifies a stream.
+  return (static_cast<std::uint64_t>(from) << 50) ^
+         (static_cast<std::uint64_t>(to) << 36) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+}
+
+}  // namespace
+
+double FaultPlan::HashUniform(Rank from, Rank to, int tag, std::uint64_t seq,
+                              std::uint64_t salt) const {
+  std::uint64_t h = Mix(seed_, salt);
+  h = Mix(h, static_cast<std::uint64_t>(from));
+  h = Mix(h, static_cast<std::uint64_t>(to));
+  h = Mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = Mix(h, seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultPlan::Decide(Rank from, Rank to, int tag) {
+  const std::uint64_t key = StreamKey(from, to, tag);
+  std::uint64_t seq = 0;
+  {
+    common::MutexLock lock(mu_);
+    ++counters_.examined;
+    auto it = std::find_if(seqs_.begin(), seqs_.end(),
+                           [&](const auto& kv) { return kv.first == key; });
+    if (it == seqs_.end()) {
+      seqs_.emplace_back(key, 1);  // this message is seq 0
+    } else {
+      seq = it->second++;
+    }
+  }
+
+  FaultDecision decision;
+  for (const FaultRule& rule : rules_) {
+    if (!rule.Matches(from, to, tag, seq)) continue;
+    // Salts keep the three draws independent of each other.
+    if (rule.drop_prob > 0.0 &&
+        HashUniform(from, to, tag, seq, 0xD20Full) < rule.drop_prob) {
+      decision.drop = true;
+    }
+    if (rule.dup_prob > 0.0 &&
+        HashUniform(from, to, tag, seq, 0xD0B1Eull) < rule.dup_prob) {
+      decision.duplicate = true;
+    }
+    if (rule.delay_prob > 0.0 &&
+        HashUniform(from, to, tag, seq, 0xDE1A4ull) < rule.delay_prob) {
+      decision.extra_delay = rule.delay_s;
+    }
+    break;  // first matching rule wins
+  }
+
+  if (decision.drop || decision.duplicate || decision.extra_delay > 0.0) {
+    common::MutexLock lock(mu_);
+    if (decision.drop) ++counters_.dropped;
+    if (decision.duplicate) ++counters_.duplicated;
+    if (decision.extra_delay > 0.0) ++counters_.delayed;
+  }
+  return decision;
+}
+
+FaultCounters FaultPlan::Totals() const {
+  common::MutexLock lock(mu_);
+  return counters_;
+}
+
+}  // namespace rna::net

@@ -26,6 +26,8 @@
 
 namespace rna::net {
 
+class FaultPlan;
+
 /// Seconds of delivery delay for a message of `bytes` from `from` to `to`.
 /// Return 0 for immediate delivery.
 using LatencyModel =
@@ -41,17 +43,34 @@ class Mailbox {
   /// other tags are unaffected.
   std::optional<Message> Get(int tag);
 
-  /// Timed variant; std::nullopt on timeout or close-and-drained.
+  /// Timed variant; std::nullopt on timeout or close-and-drained. A zero
+  /// (or negative) timeout degenerates to TryGet: one pop attempt, no wait.
   std::optional<Message> GetFor(int tag, common::Seconds timeout);
 
   /// Blocks until a message with *any* of the tags arrives; lower tag index
   /// in `tags` wins when several are ready.
   std::optional<Message> GetAny(std::span<const int> tags);
 
+  /// Timed multi-tag receive: waits until a message matching any tag
+  /// arrives, the deadline passes (std::nullopt), or the mailbox closes.
+  /// This is what lets the controller wait on "probe reply OR goodbye" with
+  /// a deadline instead of blocking forever on a dead worker.
+  std::optional<Message> GetAnyFor(std::span<const int> tags,
+                                   common::Seconds timeout);
+
   std::optional<Message> TryGet(int tag);
 
   /// Number of queued messages for a tag.
   std::size_t Pending(int tag) const;
+
+  /// True once Close() has been called. Lets a timed-receive retry loop
+  /// tell "timed out, keep waiting" apart from "fabric is gone, give up".
+  bool IsClosed() const;
+
+  /// Discards every queued message whose tag lies in [tag_lo, tag_hi];
+  /// returns the number removed. Used to sweep stale chunks of an aborted
+  /// collective round so they can never alias a later round's traffic.
+  std::size_t PurgeTagRange(int tag_lo, int tag_hi);
 
   void Close();
 
@@ -81,6 +100,15 @@ class Fabric {
 
   std::size_t Size() const { return mailboxes_.size(); }
 
+  /// Installs a fault plan consulted on every subsequent Send (see
+  /// fault.hpp). Must be called before any protocol thread sends — the
+  /// pointer is read without a lock on the hot path, so installation must
+  /// happen-before thread creation. Starts the delivery timer thread if the
+  /// plan may inject delays and no latency model already did.
+  void InstallFaultPlan(std::shared_ptr<FaultPlan> plan);
+
+  const FaultPlan* InstalledFaultPlan() const { return fault_plan_.get(); }
+
   /// Delivers (possibly after a modelled delay) to `to`'s mailbox.
   void Send(Rank from, Rank to, Message msg);
 
@@ -88,7 +116,15 @@ class Fabric {
   std::optional<Message> Recv(Rank at, int tag);
   std::optional<Message> RecvFor(Rank at, int tag, common::Seconds timeout);
   std::optional<Message> RecvAny(Rank at, std::span<const int> tags);
+  std::optional<Message> RecvAnyFor(Rank at, std::span<const int> tags,
+                                    common::Seconds timeout);
   std::optional<Message> TryRecv(Rank at, int tag);
+
+  /// Drops queued messages tagged in [tag_lo, tag_hi] at `at`'s mailbox.
+  std::size_t Purge(Rank at, int tag_lo, int tag_hi);
+
+  /// True once `at`'s mailbox has been closed (Shutdown()).
+  bool IsClosed(Rank at) const;
 
   /// Closes every mailbox; all blocked receivers wake with std::nullopt.
   void Shutdown();
@@ -106,10 +142,15 @@ class Fabric {
   };
 
   void TimerLoop();
+  void EnsureTimerThread();
+  void EnqueueDelayed(Rank to, Message msg, common::Seconds delay);
 
   // Immutable after construction; safe to index without a lock.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   LatencyModel latency_;
+  // Written once by InstallFaultPlan before protocol threads exist; read
+  // lock-free by Send afterwards.
+  std::shared_ptr<FaultPlan> fault_plan_;
 
   mutable common::Mutex stats_mu_;
   std::vector<TrafficStats> stats_ RNA_GUARDED_BY(stats_mu_);

@@ -1,0 +1,112 @@
+#pragma once
+
+// Deterministic fault injection for the in-process fabric.
+//
+// A FaultPlan is a small rule table the Fabric consults on every Send. Each
+// rule matches a slice of traffic (sender, receiver, tag range, and a
+// per-stream sequence window) and assigns probabilities for the three
+// injectable faults: drop the message, duplicate it, or delay it (reordering
+// emerges from delays, since the fabric's timer thread releases messages in
+// due-time order while undelayed traffic bypasses it).
+//
+// Determinism contract — the property the chaos suite is built on: the
+// decision for a message is a pure function of
+//     (plan seed, from, to, tag, per-(from,to,tag) sequence number)
+// hashed through SplitMix64, NOT a shared RNG stream. Every (from, to, tag)
+// stream in this codebase has a single sending thread, so the sequence
+// numbers — and therefore every fault decision — are identical across runs
+// regardless of how the OS interleaves threads. Replaying a chaos seed
+// replays the exact same drops.
+//
+// Scripted faults use a degenerate window: e.g. {seq_begin = 3, seq_end = 4,
+// drop_prob = 1.0} drops exactly the 4th message of a stream.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rna/common/clock.hpp"
+#include "rna/common/mutex.hpp"
+#include "rna/common/thread_annotations.hpp"
+#include "rna/net/message.hpp"
+
+namespace rna::net {
+
+/// What the fabric should do with one message. Drop wins over everything;
+/// duplicate and delay compose (both copies share the extra delay).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  common::Seconds extra_delay = 0.0;
+};
+
+/// One traffic-matching rule. Negative `from`/`to` match any rank; the tag
+/// interval is inclusive; the sequence window is half-open [seq_begin,
+/// seq_end) over the matched stream's per-(from,to,tag) message count.
+struct FaultRule {
+  std::int64_t from = -1;  ///< sender rank, or -1 for any
+  std::int64_t to = -1;    ///< receiver rank, or -1 for any
+  int tag_lo = std::numeric_limits<int>::min();
+  int tag_hi = std::numeric_limits<int>::max();
+  std::uint64_t seq_begin = 0;
+  std::uint64_t seq_end = std::numeric_limits<std::uint64_t>::max();
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  common::Seconds delay_s = 0.0;  ///< extra delay when the delay fault fires
+
+  bool Matches(Rank f, Rank t, int tag, std::uint64_t seq) const {
+    if (from >= 0 && static_cast<Rank>(from) != f) return false;
+    if (to >= 0 && static_cast<Rank>(to) != t) return false;
+    if (tag < tag_lo || tag > tag_hi) return false;
+    return seq >= seq_begin && seq < seq_end;
+  }
+};
+
+/// Cumulative injection counters (also mirrored into MetricsRegistry by the
+/// fabric under `fault.net.*`); handy for oracle assertions in tests.
+struct FaultCounters {
+  std::uint64_t examined = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// Seeded, thread-safe fault rule table. Install on a Fabric via
+/// Fabric::InstallFaultPlan before protocol threads start sending; the first
+/// rule that matches a message decides its fate.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Appends a rule. Not thread-safe against concurrent Decide; add all
+  /// rules before the fabric goes live.
+  void AddRule(const FaultRule& rule) { rules_.push_back(rule); }
+
+  std::uint64_t SeedValue() const { return seed_; }
+  bool Empty() const { return rules_.empty(); }
+
+  /// Decides the fate of one message. Thread-safe; advances the matched
+  /// stream's sequence number exactly once per call.
+  FaultDecision Decide(Rank from, Rank to, int tag);
+
+  FaultCounters Totals() const;
+
+ private:
+  /// Deterministic uniform in [0, 1) from the decision coordinates plus a
+  /// per-fault-kind salt (so drop/dup/delay draws are independent).
+  double HashUniform(Rank from, Rank to, int tag, std::uint64_t seq,
+                     std::uint64_t salt) const;
+
+  const std::uint64_t seed_;
+  std::vector<FaultRule> rules_;  ///< immutable once the fabric is live
+
+  mutable common::Mutex mu_;
+  /// Per-stream sequence numbers, keyed by (from, to, tag) packed into one
+  /// 64-bit word (ranks are tiny here; tags fit in 32 bits).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seqs_
+      RNA_GUARDED_BY(mu_);
+  FaultCounters counters_ RNA_GUARDED_BY(mu_);
+};
+
+}  // namespace rna::net

@@ -413,6 +413,7 @@ Category CategoryFromName(const std::string& name) {
   if (name == "round") return Category::kRound;
   if (name == "rpc") return Category::kRpc;
   if (name == "eval") return Category::kEval;
+  if (name == "fault") return Category::kFault;
   return Category::kOther;
 }
 

@@ -55,6 +55,7 @@ enum class Category : std::uint8_t {
   kRound,    ///< controller-side synchronization-round lifecycle
   kRpc,      ///< point-to-point request handling (PS serve, probe)
   kEval,     ///< monitor evaluation passes
+  kFault,    ///< injected faults + recovery actions (retries, re-elections)
   kOther,    ///< totals, calibration, harness phases
 };
 

@@ -24,6 +24,8 @@ const char* CategoryName(Category c) {
       return "rpc";
     case Category::kEval:
       return "eval";
+    case Category::kFault:
+      return "fault";
     case Category::kOther:
       return "other";
   }

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -71,10 +72,25 @@ class ParameterServer {
 };
 
 /// Client handle bound to one fabric endpoint.
+///
+/// Fault tolerance: by default a reply-bearing call waits indefinitely (in
+/// bounded slices, so every fabric wait has a deadline) — the legacy
+/// lossless-fabric behavior. ConfigureRetry(budget >= 2, t) switches to
+/// bounded retry with exponential backoff: the request is re-sent after t,
+/// 2t, 4t, … seconds, `budget` attempts total, and the Try* calls return
+/// std::nullopt when the budget is exhausted (the non-Try wrappers treat
+/// that as fatal). Retries are at-least-once: a slow (rather than dropped)
+/// request can be applied twice, which ApplyMode::kAverage absorbs (it
+/// re-averages toward the same fixpoint) but kAddDelta does not — callers
+/// that push deltas over a lossy fabric accept that gradient noise.
 class PsClient {
  public:
   PsClient(net::Fabric& fabric, Rank self, Rank server)
       : fabric_(&fabric), self_(self), server_(server) {}
+
+  /// Enables bounded retry (see class comment). budget is the total number
+  /// of attempts; budget <= 1 keeps the wait-forever behavior.
+  void ConfigureRetry(std::size_t budget, double first_timeout_s);
 
   /// Fold `values` into the server state; no reply payload.
   void Push(std::span<const float> values, ApplyMode mode);
@@ -86,16 +102,25 @@ class PsClient {
   /// PSPushPull() of the paper's hierarchical synchronization.
   std::vector<float> PushPull(std::span<const float> values, ApplyMode mode);
 
+  /// Like PushPull, but returns std::nullopt instead of dying when the
+  /// retry budget is exhausted (the caller skips this sync and moves on).
+  std::optional<std::vector<float>> TryPushPull(std::span<const float> values,
+                                                ApplyMode mode);
+
   /// Server-side version observed by the last Pull/PushPull.
   std::int64_t LastVersion() const { return last_version_; }
 
  private:
   std::vector<float> Call(std::span<const float> values, ApplyMode mode,
                           bool want_reply);
+  std::optional<std::vector<float>> TryCall(std::span<const float> values,
+                                            ApplyMode mode, bool want_reply);
 
   net::Fabric* fabric_;
   Rank self_;
   Rank server_;
+  std::size_t retry_budget_ = 1;
+  double retry_timeout_s_ = 0.05;
   std::int64_t last_version_ = 0;
 };
 

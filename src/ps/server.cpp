@@ -52,8 +52,14 @@ std::vector<float> ParameterServer::Snapshot() const {
 void ParameterServer::ServeLoop() {
   const obs::TrackHandle track = obs::RegisterTrack("ps");
   for (;;) {
-    auto req = fabric_.Recv(rank_, PsTags::kRequest);
-    if (!req.has_value()) return;  // fabric shut down
+    // Bounded waits only (the chaos lint gate bans untimed receives in
+    // src/ps): wake periodically to notice stop/shutdown even if the
+    // self-addressed stop poke is swallowed by an injected drop.
+    auto req = fabric_.RecvFor(rank_, PsTags::kRequest, 0.05);
+    if (!req.has_value()) {
+      if (stop_.load() || fabric_.IsClosed(rank_)) return;
+      continue;  // idle timeout
+    }
     RNA_CHECK_MSG(req->meta.size() >= 3, "malformed PS request");
     if (req->meta[kMetaMode] == kStopSentinel) return;
     obs::ScopedTimer rpc_timer(track, obs::Category::kRpc, "serve_request");
@@ -95,20 +101,61 @@ void ParameterServer::ServeLoop() {
   }
 }
 
+void PsClient::ConfigureRetry(std::size_t budget, double first_timeout_s) {
+  retry_budget_ = budget == 0 ? 1 : budget;
+  if (first_timeout_s > 0.0) retry_timeout_s_ = first_timeout_s;
+}
+
+std::optional<std::vector<float>> PsClient::TryCall(
+    std::span<const float> values, ApplyMode mode, bool want_reply) {
+  // A retried request can produce two replies; drain leftovers so a stale
+  // reply from the previous call can never satisfy this one.
+  while (fabric_->TryRecv(self_, PsTags::kReply).has_value()) {
+    obs::CountMetric("ps.stale_replies_dropped");
+  }
+
+  auto parse = [&](net::Message& reply) -> std::vector<float> {
+    RNA_CHECK_MSG(!reply.meta.empty(), "malformed PS reply");
+    last_version_ = reply.meta[0];
+    return std::move(reply.data);
+  };
+
+  for (std::size_t attempt = 0; attempt < retry_budget_; ++attempt) {
+    if (attempt > 0) obs::CountMetric("ps.retries");
+    net::Message req;
+    req.tag = PsTags::kRequest;
+    req.meta = {static_cast<std::int64_t>(mode), want_reply ? 1 : 0,
+                values.empty() ? 0 : 1};
+    req.data.assign(values.begin(), values.end());
+    fabric_->Send(self_, server_, std::move(req));
+    if (!want_reply) return std::vector<float>{};
+
+    if (retry_budget_ <= 1) {
+      // Legacy lossless-fabric mode: wait until the reply or shutdown, in
+      // bounded slices so this thread always holds a deadline.
+      for (;;) {
+        auto reply = fabric_->RecvFor(self_, PsTags::kReply, 0.05);
+        if (reply.has_value()) return parse(*reply);
+        if (fabric_->IsClosed(self_)) return std::nullopt;
+      }
+    }
+    // Exponential backoff: t, 2t, 4t, ... per attempt.
+    const double timeout =
+        retry_timeout_s_ * static_cast<double>(std::uint64_t{1} << attempt);
+    auto reply = fabric_->RecvFor(self_, PsTags::kReply, timeout);
+    if (reply.has_value()) return parse(*reply);
+    if (fabric_->IsClosed(self_)) return std::nullopt;
+  }
+  obs::CountMetric("ps.call_failures");
+  return std::nullopt;
+}
+
 std::vector<float> PsClient::Call(std::span<const float> values,
                                   ApplyMode mode, bool want_reply) {
-  net::Message req;
-  req.tag = PsTags::kRequest;
-  req.meta = {static_cast<std::int64_t>(mode), want_reply ? 1 : 0,
-              values.empty() ? 0 : 1};
-  req.data.assign(values.begin(), values.end());
-  fabric_->Send(self_, server_, std::move(req));
-  if (!want_reply) return {};
-  auto reply = fabric_->Recv(self_, PsTags::kReply);
-  RNA_CHECK_MSG(reply.has_value(), "fabric shut down during PS call");
-  RNA_CHECK_MSG(!reply->meta.empty(), "malformed PS reply");
-  last_version_ = reply->meta[0];
-  return std::move(reply->data);
+  auto result = TryCall(values, mode, want_reply);
+  RNA_CHECK_MSG(result.has_value(),
+                "PS call failed: fabric shut down or retry budget exhausted");
+  return std::move(*result);
 }
 
 void PsClient::Push(std::span<const float> values, ApplyMode mode) {
@@ -124,6 +171,12 @@ std::vector<float> PsClient::PushPull(std::span<const float> values,
                                       ApplyMode mode) {
   RNA_CHECK_MSG(!values.empty(), "PushPull requires a payload");
   return Call(values, mode, /*want_reply=*/true);
+}
+
+std::optional<std::vector<float>> PsClient::TryPushPull(
+    std::span<const float> values, ApplyMode mode) {
+  RNA_CHECK_MSG(!values.empty(), "PushPull requires a payload");
+  return TryCall(values, mode, /*want_reply=*/true);
 }
 
 }  // namespace rna::ps

@@ -71,6 +71,71 @@ std::string TrainerConfig::Validate() const {
              world < 2) {
     why << ProtocolName(protocol) << " needs at least two workers (got "
         << world << ")";
+  } else if (std::string fault_why = ValidateFault(); !fault_why.empty()) {
+    why << fault_why;
+  }
+  return why.str();
+}
+
+std::string TrainerConfig::ValidateFault() const {
+  std::ostringstream why;
+  const auto bad_prob = [](double p) { return p < 0.0 || p > 1.0; };
+  if (bad_prob(fault.drop_prob)) {
+    why << "fault.drop_prob must be a probability in [0, 1] (got "
+        << fault.drop_prob << ")";
+  } else if (bad_prob(fault.dup_prob)) {
+    why << "fault.dup_prob must be a probability in [0, 1] (got "
+        << fault.dup_prob << ")";
+  } else if (bad_prob(fault.delay_prob)) {
+    why << "fault.delay_prob must be a probability in [0, 1] (got "
+        << fault.delay_prob << ")";
+  } else if (bad_prob(fault.ps_drop_prob)) {
+    why << "fault.ps_drop_prob must be a probability in [0, 1] (got "
+        << fault.ps_drop_prob << ")";
+  } else if (fault.delay_s < 0.0) {
+    why << "fault.delay_s must be non-negative (got " << fault.delay_s << ")";
+  } else if (fault.Enabled() && fault.retry_budget == 0) {
+    why << "fault.retry_budget must be >= 1 (got 0): a zero budget makes "
+           "every PS call fail unconditionally";
+  } else if (fault.Enabled() &&
+             (fault.retry_timeout_s <= 0.0 ||
+              fault.collective_timeout_s <= 0.0 ||
+              fault.probe_timeout_s <= 0.0)) {
+    why << "fault recovery timeouts (retry_timeout_s, collective_timeout_s, "
+           "probe_timeout_s) must be positive";
+  } else if (fault.Enabled() && fault.dead_after_misses == 0) {
+    why << "fault.dead_after_misses must be >= 1 (got 0)";
+  } else if ((fault.drop_prob > 0.0 || fault.dup_prob > 0.0 ||
+              fault.ps_drop_prob > 0.0) &&
+             (protocol == Protocol::kHorovod || protocol == Protocol::kSgp)) {
+    why << ProtocolName(protocol)
+        << " cannot run on a lossy fabric: its untimed collectives deadlock "
+           "on a dropped message (use delay faults instead)";
+  } else {
+    for (const WorkerFaultSchedule& w : fault.workers) {
+      if (w.rank >= world) {
+        why << "fault schedule targets rank " << w.rank
+            << " outside the world of " << world;
+      } else if (w.crash_in_round != WorkerFaultSchedule::kNever &&
+                 w.crash_in_round >= max_rounds) {
+        why << "fault schedule crash_in_round (" << w.crash_in_round
+            << ") is beyond max_rounds (" << max_rounds
+            << "): the crash step would never fire";
+      } else if (w.hang_for_s < 0.0 || w.flaky_delay_s < 0.0) {
+        why << "fault schedule hang_for_s / flaky_delay_s must be "
+               "non-negative";
+      } else if (bad_prob(w.flaky_prob)) {
+        why << "fault schedule flaky_prob must be a probability in [0, 1] "
+               "(got "
+            << w.flaky_prob << ")";
+      } else if (w.HasCrash() && (protocol == Protocol::kHorovod ||
+                                  protocol == Protocol::kSgp)) {
+        why << ProtocolName(protocol)
+            << " cannot survive a crash fault: its collective needs every "
+               "member (use hang/flaky faults instead)";
+      }
+      if (why.tellp() != 0) break;
+    }
   }
   return why.str();
 }

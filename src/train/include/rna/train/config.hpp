@@ -67,6 +67,87 @@ enum class LrScalePolicy {
 using ModelFactory =
     std::function<std::unique_ptr<nn::Network>(std::uint64_t seed)>;
 
+/// Scripted faults for one worker rank. Iteration-indexed faults fire in the
+/// worker's compute path (before computing the given 0-based local
+/// iteration); round-indexed faults fire in its comm thread (on receiving
+/// the Go for that round — i.e. mid-collective, the nastiest spot).
+/// `kNever` (the default) disables a fault.
+struct WorkerFaultSchedule {
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  std::size_t rank = 0;
+
+  /// Fail-stop crash before computing this local iteration.
+  std::size_t crash_at_iteration = kNever;
+  /// Fail-stop crash on receiving the Go for this round — the worker is a
+  /// member of the round's collective and dies without participating, so
+  /// surviving members must time out and abort instead of deadlocking.
+  std::size_t crash_in_round = kNever;
+
+  /// One-shot hang: before computing this local iteration, sleep
+  /// hang_for_s. A hang longer than the controller's patience gets the
+  /// worker declared absent (paper's null-gradient rule), not crashed.
+  std::size_t hang_at_iteration = kNever;
+  double hang_for_s = 0.0;
+
+  /// Flaky window: for local iterations in [flaky_from, flaky_until), each
+  /// iteration is preceded by an extra flaky_delay_s sleep with probability
+  /// flaky_prob (drawn from the worker's deterministic fault stream).
+  std::size_t flaky_from_iteration = 0;
+  std::size_t flaky_until_iteration = 0;
+  double flaky_delay_s = 0.0;
+  double flaky_prob = 0.0;
+
+  bool HasCrash() const {
+    return crash_at_iteration != kNever || crash_in_round != kNever;
+  }
+};
+
+/// Fault-injection settings for a training run: network-level message
+/// faults (lowered into a net::FaultPlan installed on the run's fabric),
+/// per-rank worker schedules, and the recovery knobs the protocol layer
+/// uses to survive them. Everything defaults to off / benign.
+struct FaultConfig {
+  // Probabilistic network faults applied to every message.
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_s = 0.0;  ///< extra in-flight delay when the delay fault fires
+
+  /// Extra drop probability for parameter-server traffic only (overrides
+  /// drop_prob on the PS request/reply tags) — the "drop 10% of PS
+  /// traffic" chaos scenario.
+  double ps_drop_prob = 0.0;
+
+  /// Seed for the fault plan and the per-worker fault streams; 0 derives
+  /// one from TrainerConfig::seed so chaos runs replay from a single seed.
+  std::uint64_t seed = 0;
+
+  std::vector<WorkerFaultSchedule> workers;
+
+  // Recovery knobs.
+  std::size_t retry_budget = 3;      ///< PS client attempts per logical call
+  double retry_timeout_s = 0.05;     ///< first PS retry wait (doubles after)
+  double collective_timeout_s = 0.5; ///< per-hop ring/broadcast recv deadline
+  double probe_timeout_s = 0.25;     ///< controller wait before re-election
+  /// Consecutive missed round reports before the controller declares a
+  /// rank dead (fail-stop) and removes it from membership for good.
+  std::size_t dead_after_misses = 3;
+
+  /// True when any fault can actually fire (used to skip plan installation
+  /// and keep the zero-fault fast path byte-identical to the old code).
+  bool Enabled() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+           ps_drop_prob > 0.0 || !workers.empty();
+  }
+  bool AnyCrash() const {
+    for (const auto& w : workers) {
+      if (w.HasCrash()) return true;
+    }
+    return false;
+  }
+};
+
 struct TrainerConfig {
   Protocol protocol = Protocol::kRna;
   std::size_t world = 4;
@@ -119,6 +200,16 @@ struct TrainerConfig {
   std::size_t calibration_iters = 8;
   std::size_t ps_sync_every = 1;
 
+  /// Deterministic pacing: the controller hands each live worker exactly one
+  /// compute token per round, so every protocol's schedule (and therefore
+  /// its TrainResult) is a pure function of the seeds — the precondition
+  /// that makes chaos failures replayable. Free-running (false) keeps the
+  /// paper's wall-clock-raced behavior.
+  bool lockstep = false;
+
+  /// Fault injection (off by default); see FaultConfig.
+  FaultConfig fault;
+
   std::uint64_t seed = 42;
   std::uint64_t model_seed = 7;
 
@@ -128,6 +219,9 @@ struct TrainerConfig {
   /// the first violation. core::RunTraining rejects invalid configs with
   /// this message; CLIs should call it before running to fail fast.
   std::string Validate() const;
+
+ private:
+  std::string ValidateFault() const;
 };
 
 }  // namespace rna::train

@@ -46,6 +46,10 @@ struct TrainResult {
   /// gradient (partial-collective protocols; empty for AD-PSGD).
   std::vector<std::size_t> round_contributors;
 
+  /// Workers still alive at the end of the run. Equals the world size
+  /// unless fault injection crashed (or death-detection excluded) workers.
+  std::size_t live_workers = 0;
+
   /// Mean number of contributors per round.
   double MeanContributors() const {
     if (round_contributors.empty()) return 0.0;

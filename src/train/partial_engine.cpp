@@ -1,13 +1,16 @@
 #include "rna/train/partial_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
+#include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -80,7 +83,22 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   RNA_CHECK_MSG(world >= 1, "need at least one worker");
   const net::Rank controller = world;  // endpoint layout: [workers..., ctrl]
   net::Fabric fabric(world + 1);
-  const collectives::Group group = collectives::Group::Full(world);
+
+  FaultRuntime faults(config);
+  if (auto plan = BuildFaultPlan(config)) {
+    fabric.InstallFaultPlan(std::move(plan));
+  }
+  const bool faulty = config.fault.Enabled();
+  const bool lockstep = config.lockstep;
+  // A mid-ring crash shows up as a hop timeout; survivors abort the round
+  // instead of deadlocking in Recv. Zero keeps the untimed legacy receive
+  // on the zero-fault path.
+  const common::Seconds ring_timeout =
+      faulty ? config.fault.collective_timeout_s : 0.0;
+  // Reports can lag a full aborted collective, so the controller's report
+  // deadline must exceed the ring's hop timeout.
+  const common::Seconds report_budget =
+      config.fault.collective_timeout_s + config.fault.probe_timeout_s;
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -91,7 +109,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     stages.push_back(std::make_unique<GradientStage>(
         dim, config.staleness_bound, config.combine));
   }
-  ParamBoard board(init);  // worker 0's published view, watched by monitor
+  ParamBoard board(init);  // lowest live rank's view, watched by monitor
 
   std::atomic<bool> stop{false};          // raised by the monitor
   std::atomic<bool> global_stop{false};   // raised by controller / comm exit
@@ -120,7 +138,6 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           obs::RegisterTrack(obs::WorkerTrack(w, "comm"));
       std::vector<float> params = init;
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
-      std::int64_t published = 0;
       std::vector<float> buffer(dim);
       // For ContributionMode::kStaleReuse: the gradient this worker last
       // put into a collective, re-sent once while no fresh one is ready
@@ -130,19 +147,78 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       bool last_sent_valid = false;
       const bool stale_reuse =
           config.contribution == ContributionMode::kStaleReuse;
+      bool died = false;  // fail-stop exit, distinct from session end
       for (;;) {
-        obs::ScopedTimer wait_timer(track, obs::Category::kWait,
-                                    "wait_trigger", &comm_times[w].wait);
-        auto go = fabric.Recv(w, tags::kGo);
-        wait_timer.Stop();
-        if (!go.has_value() || go->meta.empty() || go->meta[0] < 0) break;
+        std::optional<net::Message> go;
+        {
+          obs::ScopedTimer wait_timer(track, obs::Category::kWait,
+                                      "wait_trigger", &comm_times[w].wait);
+          if (faulty) {
+            // Bounded waits: a dropped exit-Go must not strand this thread.
+            while (!(go = fabric.RecvFor(w, tags::kGo, 0.05)).has_value()) {
+              if (global_stop.load() || fabric.IsClosed(w) ||
+                  !faults.Alive(w)) {
+                break;
+              }
+            }
+          } else {
+            go = fabric.Recv(w, tags::kGo);
+          }
+        }
+        if (!go.has_value()) {
+          died = faulty && !faults.Alive(w);  // killed from the compute side
+          break;
+        }
+        if (go->meta.empty() || go->meta[0] < 0) break;  // session over
         const auto round = static_cast<std::size_t>(go->meta[0]);
+
+        if (faults.ShouldCrashInRound(w, round)) {
+          // Fail-stop while holding the round hostage: this rank is in the
+          // round's membership, so survivors must abort via ring timeout —
+          // the scenario that deadlocked the pre-fault engine in Recv.
+          faults.Kill(w);
+          obs::ScopedTimer crash_span(track, obs::Category::kFault, "crash");
+          crash_span.SetArg("round", static_cast<double>(round));
+          net::Message bye;
+          bye.tag = tags::kGoodbye;
+          bye.meta = {go->meta[0]};
+          fabric.Send(w, controller, std::move(bye));
+          died = true;
+          break;
+        }
+        if (faulty && !faults.Alive(w)) {
+          died = true;  // compute-side crash already announced the goodbye
+          break;
+        }
+
+        // Round membership travels in the Go (meta[2:]); absent (legacy
+        // shape) means everyone.
+        collectives::Group group;
+        if (go->meta.size() > 2) {
+          for (std::size_t i = 2; i < go->meta.size(); ++i) {
+            group.members.push_back(
+                static_cast<net::Rank>(go->meta[i]));
+          }
+        } else {
+          group = collectives::Group::Full(world);
+        }
+        const auto member_it =
+            std::find(group.members.begin(), group.members.end(), w);
+        if (member_it == group.members.end()) continue;  // not in this round
+        const std::size_t my_index =
+            static_cast<std::size_t>(member_it - group.members.begin());
 
         // Step LR schedule: every worker decays at the same round.
         for (std::size_t milestone : config.lr_decay_rounds) {
           if (milestone == round) {
             optimizer.DecayLearningRate(config.lr_decay_factor);
           }
+        }
+
+        // Sweep stale chunks of earlier (possibly aborted) rounds so they
+        // can never alias this round's unique tag range.
+        if (faulty && round > 0) {
+          fabric.Purge(w, tags::kRingBase, tags::RingTag(round) - 1);
         }
 
         auto drained = stages[w]->Drain();
@@ -168,14 +244,20 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
                                       "partial_allreduce",
                                       &comm_times[w].comm);
           comm_timer.SetArg("round", static_cast<double>(round));
-          reduced = collectives::RingPartialAllreduce(fabric, group, w, buffer,
-                                                      contributes,
-                                                      tags::RingTag(round));
+          reduced = collectives::RingPartialAllreduce(
+              fabric, group, my_index, buffer, contributes,
+              tags::RingTag(round), ring_timeout);
           comm_timer.SetArg("contributors",
                             static_cast<double>(reduced.contributors));
         }
+        if (!reduced.ok) {
+          obs::ScopedTimer abort_span(track, obs::Category::kFault,
+                                      "collective_abort");
+          abort_span.SetArg("round", static_cast<double>(round));
+          obs::CountMetric("fault.collective_aborts");
+        }
 
-        if (reduced.contributors > 0) {
+        if (reduced.ok && reduced.contributors > 0) {
           double scale = 1.0;
           if (stale_reuse) {
             // eager-SGD averages over the fixed world size N: absent
@@ -184,23 +266,32 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
                     static_cast<double>(world);
           } else if (config.lr_policy == LrScalePolicy::kLinear) {
             // RNA's Linear Scaling Rule: γ_k ∝ participating batch size.
+            // The denominator stays the original world: a dead worker is a
+            // permanent null contributor under the paper's gradient rule.
             scale = static_cast<double>(reduced.contributors) /
                     static_cast<double>(world);
           }
-          // The paper's W = 1/Σw re-weight, folded into the LR scale; one
-          // rank reports it so the metric is per round, not per worker.
-          if (w == 0) obs::ObserveMetric("round.reweight_scale", scale);
+          // The paper's W = 1/Σw re-weight, folded into the LR scale; the
+          // publishing rank reports it so the metric is per round.
+          if (my_index == 0) obs::ObserveMetric("round.reweight_scale", scale);
           optimizer.Step(params, buffer, scale);
         }
-        if (w == 0) board.Publish(params, ++published);
+        // The lowest-ranked member publishes — rank 0 while it lives, its
+        // successor after; the round number keeps versions monotonic
+        // across a publisher change.
+        if (my_index == 0) {
+          board.Publish(params, static_cast<std::int64_t>(round) + 1);
+        }
 
         net::Message report;
         report.tag = tags::kRoundEnd;
+        // meta: [round, gradients consumed, aborted flag]
         report.meta = {go->meta[0],
-                       fresh ? static_cast<std::int64_t>(drained->count) : 0};
+                       fresh ? static_cast<std::int64_t>(drained->count) : 0,
+                       reduced.ok ? 0 : 1};
         fabric.Send(w, controller, std::move(report));
       }
-      global_stop.store(true);
+      if (!died) global_stop.store(true);
       final_params[w] = std::move(params);
     });
   }
@@ -213,15 +304,53 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       std::vector<float> params = init;
       std::vector<float> grad(dim);
       std::int64_t seen = 0;
-      // A private board per worker would be truer to the paper's per-worker
-      // ReadOp; worker 0's board doubles as the monitor view, so non-zero
-      // ranks read their own comm thread's params through the shared
-      // collective result — which is identical on all ranks. To keep ranks
-      // symmetric each compute thread re-reads from board (rank-0 view);
-      // since replicas are bit-identical this is exact. The board itself is
-      // mutex-guarded (RNA_GUARDED_BY in stage.hpp), so these cross-thread
-      // reads race with Publish only through the lock.
+      auto crash_now = [&](std::int64_t round_hint) {
+        // Fail-stop announced from the compute side; the comm thread
+        // notices Alive() == false and exits without a second goodbye.
+        faults.Kill(w);
+        obs::CountMetric("fault.worker.goodbyes");
+        net::Message bye;
+        bye.tag = tags::kGoodbye;
+        bye.meta = {round_hint};
+        fabric.Send(w, controller, std::move(bye));
+      };
+      if (lockstep) {
+        // Deterministic pacing: compute exactly one batch per controller
+        // step token; acknowledge with kReady (or kGoodbye on a scheduled
+        // crash) so the controller can account for every token.
+        for (;;) {
+          std::optional<net::Message> token;
+          while (!(token = fabric.RecvFor(w, tags::kStep, 0.05))
+                      .has_value()) {
+            if (global_stop.load() || fabric.IsClosed(w)) return;
+          }
+          if (token->meta.empty() || token->meta[0] < 0) return;
+          if (!faults.Alive(w)) return;
+          if (faulty && faults.BeforeIteration(w, workers[w]->Iterations()) ==
+                            IterationFate::kCrash) {
+            crash_now(token->meta[0]);
+            return;
+          }
+          seen = board.ReadIfNewer(seen, &params);
+          workers[w]->ComputeGradient(params, grad);
+          stages[w]->Write(grad,
+                           static_cast<std::int64_t>(workers[w]->Iterations()));
+          net::Message ready;
+          ready.tag = tags::kReady;
+          fabric.Send(w, controller, std::move(ready));
+        }
+      }
+      // Free-running: the paper's wall-clock-raced schedule. See the
+      // engine-wide comment on board symmetry in stage.hpp.
       while (!global_stop.load(std::memory_order_relaxed)) {
+        if (faulty) {
+          if (!faults.Alive(w)) return;
+          if (faults.BeforeIteration(w, workers[w]->Iterations()) ==
+              IterationFate::kCrash) {
+            crash_now(-1);
+            return;
+          }
+        }
         seen = board.ReadIfNewer(seen, &params);
         workers[w]->ComputeGradient(params, grad);
         const bool grew = stages[w]->Write(
@@ -243,53 +372,227 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     common::Rng rng(config.seed + 9001);
     std::unique_ptr<TriggerPolicy> policy = policy_factory();
     std::vector<std::int64_t> ready(world, 0);
+    std::vector<bool> live(world, true);
+    std::vector<std::size_t> miss_count(world, 0);
+    std::vector<bool> responded(world, false);
 
-    auto broadcast_go = [&](std::int64_t round, std::int64_t last) {
+    auto live_members = [&] {
+      std::vector<net::Rank> members;
+      for (std::size_t i = 0; i < world; ++i) {
+        if (live[i]) members.push_back(i);
+      }
+      return members;
+    };
+    auto note_goodbye = [&](net::Rank src, std::size_t round) {
+      if (!live[src]) return;
+      live[src] = false;
+      faults.Kill(src);
+      ready[src] = 0;
+      obs::CountMetric("fault.controller.deaths");
+      // A (near-)instant fault span on the controller track marks the
+      // exclusion on the timeline.
+      obs::ScopedTimer death_span(track, obs::Category::kFault,
+                                  "worker_death");
+      death_span.SetArg("rank", static_cast<double>(src));
+      death_span.SetArg("round", static_cast<double>(round));
+    };
+
+    auto broadcast_exit = [&] {
       for (std::size_t w = 0; w < world; ++w) {
         net::Message go;
         go.tag = tags::kGo;
-        go.meta = {round, last};
+        go.meta = {-1, 1};
         fabric.Send(controller, w, std::move(go));
+        net::Message step;
+        step.tag = tags::kStep;
+        step.meta = {-1};
+        fabric.Send(controller, w, std::move(step));
       }
     };
 
-    for (std::size_t round = 0;
-         round < config.max_rounds && !global_stop.load(); ++round) {
+    std::size_t round = 0;
+    for (; round < config.max_rounds && !global_stop.load(); ++round) {
+      std::vector<net::Rank> members = live_members();
+      if (members.empty()) break;
       policy->BeginRound(world, rng);
-      {
+
+      if (lockstep) {
+        // Pace: one compute token per live rank, then account for every
+        // token (kReady, kGoodbye, or — under faults — a deadline miss
+        // from a hung worker, who stays a member and contributes null).
+        for (net::Rank m : members) {
+          net::Message step;
+          step.tag = tags::kStep;
+          step.meta = {static_cast<std::int64_t>(round)};
+          fabric.Send(controller, m, std::move(step));
+        }
+        std::fill(responded.begin(), responded.end(), false);
+        std::size_t got = 0;
+        const int ack_tags[] = {tags::kReady, tags::kGoodbye};
+        obs::ScopedTimer step_timer(track, obs::Category::kWait, "step_wait");
+        step_timer.SetArg("round", static_cast<double>(round));
+        while (got < members.size() && !stop.load() && !global_stop.load()) {
+          std::optional<net::Message> msg;
+          if (faulty) {
+            const common::Seconds left = report_budget - step_timer.Elapsed();
+            if (left <= 0.0) break;
+            msg = fabric.RecvAnyFor(controller, ack_tags, left);
+            if (!msg.has_value()) break;  // deadline or shutdown
+          } else {
+            msg = fabric.RecvAny(controller, ack_tags);
+            if (!msg.has_value()) return;  // fabric shut down
+          }
+          const net::Rank src = msg->src;
+          if (msg->tag == tags::kGoodbye) {
+            note_goodbye(src, round);
+            if (!responded[src]) {
+              responded[src] = true;
+              ++got;
+            }
+            continue;
+          }
+          if (live[src]) ++ready[src];
+          if (!responded[src]) {
+            responded[src] = true;
+            ++got;
+          }
+        }
+        step_timer.Stop();
+        if (stop.load() || global_stop.load()) break;
+        members = live_members();  // goodbyes may have shrunk the round
+        if (members.empty()) break;
+      } else {
         obs::ScopedTimer probe_timer(track, obs::Category::kWait,
                                      "probe_wait");
         probe_timer.SetArg("round", static_cast<double>(round));
+        common::Seconds election_start = 0.0;
         while (!stop.load() && !global_stop.load()) {
           // Drain the whole notification backlog each pass so the
           // controller mailbox stays small even with very fast compute
           // threads.
           while (auto note = fabric.TryRecv(controller, tags::kReady)) {
-            ++ready[note->src];
+            if (live[note->src]) ++ready[note->src];
+          }
+          if (faulty) {
+            while (auto bye = fabric.TryRecv(controller, tags::kGoodbye)) {
+              note_goodbye(bye->src, round);
+            }
+            // A hung worker's late report from an earlier round: fold its
+            // gradient accounting in, clear its death strikes.
+            while (auto late = fabric.TryRecv(controller, tags::kRoundEnd)) {
+              ready[late->src] -= late->meta[1];
+              miss_count[late->src] = 0;
+              const bool was_aborted =
+                  late->meta.size() > 2 && late->meta[2] != 0;
+              if (!was_aborted) {
+                batches_applied.fetch_add(
+                    static_cast<std::size_t>(late->meta[1]));
+              }
+            }
+            if (live_members().empty()) break;
           }
           if (policy->ShouldTrigger(ready)) break;
+          if (faulty &&
+              probe_timer.Elapsed() - election_start >
+                  config.fault.probe_timeout_s) {
+            bool any_ready = false;
+            for (std::size_t i = 0; i < world; ++i) {
+              if (live[i] && ready[i] > 0) any_ready = true;
+            }
+            if (any_ready) {
+              // Probed-and-silent workers are treated as absent (the
+              // paper's null-gradient rule): force the round with whoever
+              // is ready rather than waiting on the dead.
+              obs::CountMetric("fault.forced_triggers");
+              break;
+            }
+            // Nobody ready at all: hold a fresh election and keep waiting.
+            policy->BeginRound(world, rng);
+            obs::CountMetric("fault.reelections");
+            election_start = probe_timer.Elapsed();
+          }
           auto note = fabric.RecvFor(controller, tags::kReady, 0.002);
-          if (note.has_value()) ++ready[note->src];
+          if (note.has_value() && live[note->src]) ++ready[note->src];
         }
+        if (stop.load() || global_stop.load()) break;
+        members = live_members();
+        if (members.empty()) break;
       }
-      if (stop.load() || global_stop.load()) break;
 
       obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
       round_timer.SetArg("round", static_cast<double>(round));
-      broadcast_go(static_cast<std::int64_t>(round), 0);
-      const int both[] = {tags::kRoundEnd, tags::kReady};
+      {
+        // Go carries the round's membership so every member builds the
+        // same ring.
+        for (net::Rank m : members) {
+          net::Message go;
+          go.tag = tags::kGo;
+          go.meta = {static_cast<std::int64_t>(round), 0};
+          for (net::Rank r : members) {
+            go.meta.push_back(static_cast<std::int64_t>(r));
+          }
+          fabric.Send(controller, m, std::move(go));
+        }
+      }
+      const int want[] = {tags::kRoundEnd, tags::kReady, tags::kGoodbye};
       std::size_t contributors = 0;
-      for (std::size_t reports = 0; reports < world;) {
-        auto msg = fabric.RecvAny(controller, both);
-        if (!msg.has_value()) return;  // fabric shut down
+      std::size_t reports = 0;
+      std::fill(responded.begin(), responded.end(), false);
+      obs::ScopedTimer report_timer(track, obs::Category::kWait,
+                                    "report_wait");
+      while (reports < members.size()) {
+        std::optional<net::Message> msg;
+        if (faulty) {
+          const common::Seconds left = report_budget - report_timer.Elapsed();
+          if (left <= 0.0) break;
+          msg = fabric.RecvAnyFor(controller, want, left);
+          if (!msg.has_value()) break;  // deadline or shutdown
+        } else {
+          msg = fabric.RecvAny(controller, want);
+          if (!msg.has_value()) return;  // fabric shut down
+        }
+        const net::Rank src = msg->src;
         if (msg->tag == tags::kReady) {
-          ++ready[msg->src];
+          if (live[src]) ++ready[src];
           continue;
         }
-        ready[msg->src] -= msg->meta[1];
-        batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
-        if (msg->meta[1] > 0) ++contributors;
-        ++reports;
+        if (msg->tag == tags::kGoodbye) {
+          note_goodbye(src, round);
+          const bool is_member =
+              std::find(members.begin(), members.end(), src) != members.end();
+          if (is_member && !responded[src]) {
+            responded[src] = true;
+            ++reports;
+          }
+          continue;
+        }
+        // kRoundEnd — possibly a late report of an earlier round.
+        ready[src] -= msg->meta[1];
+        miss_count[src] = 0;
+        const bool aborted = msg->meta.size() > 2 && msg->meta[2] != 0;
+        if (!aborted) {
+          batches_applied.fetch_add(static_cast<std::size_t>(msg->meta[1]));
+        }
+        if (static_cast<std::size_t>(msg->meta[0]) != round) continue;
+        if (!responded[src]) {
+          responded[src] = true;
+          ++reports;
+        }
+        if (!aborted && msg->meta[1] > 0) ++contributors;
+      }
+      report_timer.Stop();
+      if (reports < members.size()) {
+        // Deadline expired with silent members: report silence means the
+        // comm thread is gone (fail-stop), unlike step silence which is
+        // just slow compute. Strike them; dead_after_misses strikes kills.
+        for (net::Rank m : members) {
+          if (responded[m] || !live[m]) continue;
+          if (++miss_count[m] >= config.fault.dead_after_misses) {
+            note_goodbye(m, round);
+            obs::CountMetric("fault.declared_dead");
+          }
+        }
+        obs::CountMetric("fault.report_deadline_misses");
       }
       round_timer.SetArg("contributors", static_cast<double>(contributors));
       obs::CountMetric("round.count");
@@ -298,7 +601,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       round_contributors.push_back(contributors);
       rounds_done.fetch_add(1);
     }
-    broadcast_go(-1, 1);  // exit signal: no collective, everyone leaves
+    broadcast_exit();  // no collective, everyone leaves
   });
 
   controller_thread.join();
@@ -319,6 +622,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();
   result.round_contributors = std::move(round_contributors);
+  result.live_workers = faults.LiveCount();
 
   result.breakdown.resize(world);
   for (std::size_t w = 0; w < world; ++w) {
@@ -327,12 +631,21 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     result.breakdown[w].comm = comm_times[w].comm;
   }
 
-  result.final_params = final_params[0];
-  const nn::BatchResult final_eval = monitor.FullEval(final_params[0]);
+  // The lowest surviving rank's replica is the result (all survivors hold
+  // identical parameters after their last shared collective).
+  std::size_t reporter = 0;
+  for (std::size_t w = 0; w < world; ++w) {
+    if (faults.Alive(w)) {
+      reporter = w;
+      break;
+    }
+  }
+  result.final_params = final_params[reporter];
+  const nn::BatchResult final_eval = monitor.FullEval(result.final_params);
   result.final_loss = final_eval.loss;
   result.final_accuracy = final_eval.Accuracy();
   result.final_train_loss =
-      EvaluateDataset(workers[0]->Net(), final_params[0], train_data, 2048)
+      EvaluateDataset(workers[0]->Net(), result.final_params, train_data, 2048)
           .loss;
   return result;
 }

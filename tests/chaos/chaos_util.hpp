@@ -1,0 +1,84 @@
+#pragma once
+
+// Shared scaffolding for the chaos scenarios: a small classification
+// workload, a base TrainerConfig with chaos-friendly (short) recovery
+// timeouts, and the RNA_CHAOS_SEED environment hook that lets CI run the
+// whole suite across a seed matrix. Every scenario logs its effective seed
+// so a failure can be replayed exactly:
+//
+//   RNA_CHAOS_SEED=<logged seed> ctest --preset release -R chaos
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "rna/data/generators.hpp"
+#include "rna/nn/network.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/metrics.hpp"
+
+namespace rna::chaos {
+
+struct Scenario {
+  data::Dataset train;
+  data::Dataset val;
+  train::ModelFactory factory;
+};
+
+inline Scenario SmallScenario(std::uint64_t seed) {
+  Scenario s;
+  data::Dataset all = data::MakeGaussianClusters(300, 6, 3, 0.3, seed);
+  std::tie(s.train, s.val) = all.SplitHoldout(0.2);
+  s.factory = [](std::uint64_t model_seed) {
+    return std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{6, 12, 3}, model_seed);
+  };
+  return s;
+}
+
+/// Seed offset for the CI matrix; 0 when RNA_CHAOS_SEED is unset.
+inline std::uint64_t MatrixSeed() {
+  const char* env = std::getenv("RNA_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Base config every scenario starts from: short recovery timeouts so a
+/// deadlock-turned-timeout fails fast, early stopping off so round counts
+/// are oracle-checkable, and the matrix seed folded into both RNG seeds.
+/// The effective seeds are logged for replay.
+inline train::TrainerConfig ChaosConfig(train::Protocol protocol,
+                                        std::size_t world,
+                                        std::size_t max_rounds) {
+  train::TrainerConfig c;
+  c.protocol = protocol;
+  c.world = world;
+  c.max_rounds = max_rounds;
+  c.batch_size = 8;
+  c.target_loss = -1.0;
+  c.patience = 1000000;  // stopping is the scenario's call, not the monitor's
+  c.fault.retry_budget = 5;
+  c.fault.retry_timeout_s = 0.02;
+  c.fault.collective_timeout_s = 0.25;
+  c.fault.probe_timeout_s = 0.1;
+  c.fault.dead_after_misses = 2;
+  const std::uint64_t matrix = MatrixSeed();
+  c.seed = 42 + matrix * 1000003;
+  c.model_seed = 7 + matrix * 999331;
+  std::printf("[ CHAOS    ] seed=%llu model_seed=%llu (RNA_CHAOS_SEED=%llu)\n",
+              static_cast<unsigned long long>(c.seed),
+              static_cast<unsigned long long>(c.model_seed),
+              static_cast<unsigned long long>(matrix));
+  return c;
+}
+
+/// Random-chance cross-entropy for the 3-class workload is ln(3) ≈ 1.0986;
+/// anything meaningfully below it proves the surviving workers kept
+/// learning through the injected faults.
+inline constexpr double kChanceLoss = 1.0986;
+
+}  // namespace rna::chaos

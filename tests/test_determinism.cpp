@@ -1,0 +1,131 @@
+// Seed-determinism property: under TrainerConfig::lockstep (with early
+// stopping disabled), every protocol's TrainResult is a pure function of the
+// config and seeds — run the same config twice and the final parameters
+// match byte for byte. This is the precondition the chaos suite's
+// replay-from-logged-seed guarantee rests on.
+//
+// What lockstep buys per protocol:
+//   * horovod       — BSP is already deterministic; lockstep is a no-op
+//   * rna / eager   — controller paces compute with one kStep token per
+//                     round, so membership and staleness are schedule-free
+//   * rna-h         — plus nominal (delay-model-sampled) calibration instead
+//                     of wall-clock measurement
+//   * ad-psgd /
+//     async-ps      — RoundRobinGate serializes iterations into rank order
+//   * sgp           — iteration-unique push tags replace parity tags, fixing
+//                     the (receiver, iteration) pairing
+// Wall-clock-derived fields (wall_seconds, curve, breakdown) are exempt;
+// everything the optimizer touched must match exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "rna/core/rna.hpp"
+#include "rna/data/generators.hpp"
+#include "rna/nn/network.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/metrics.hpp"
+
+namespace rna {
+namespace {
+
+using train::Protocol;
+using train::ProtocolName;
+using train::TrainerConfig;
+using train::TrainResult;
+
+struct Scenario {
+  data::Dataset train;
+  data::Dataset val;
+  train::ModelFactory factory;
+};
+
+Scenario SmallScenario(std::uint64_t seed = 11) {
+  Scenario s;
+  data::Dataset all = data::MakeGaussianClusters(300, 6, 3, 0.3, seed);
+  std::tie(s.train, s.val) = all.SplitHoldout(0.2);
+  s.factory = [](std::uint64_t model_seed) {
+    return std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{6, 12, 3}, model_seed);
+  };
+  return s;
+}
+
+TrainerConfig LockstepConfig(Protocol protocol) {
+  TrainerConfig c;
+  c.protocol = protocol;
+  c.world = 3;
+  c.max_rounds = 6;
+  c.batch_size = 8;
+  c.lockstep = true;
+  // Disable every early-stop path: stopping decisions depend on wall-clock
+  // eval timing, which is exactly what lockstep cannot control.
+  c.target_loss = -1.0;
+  c.patience = 1000000;
+  c.calibration_iters = 2;
+  c.ps_sync_every = 2;
+  return c;
+}
+
+void ExpectIdenticalRuns(Protocol protocol) {
+  SCOPED_TRACE(ProtocolName(protocol));
+  Scenario s = SmallScenario();
+  const TrainerConfig config = LockstepConfig(protocol);
+  const TrainResult a = core::RunTraining(config, s.factory, s.train, s.val);
+  const TrainResult b = core::RunTraining(config, s.factory, s.train, s.val);
+
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    // Bitwise: EXPECT_EQ on floats, not near — the whole point.
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << "param " << i;
+  }
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.gradients_applied, b.gradients_applied);
+  EXPECT_EQ(a.round_contributors, b.round_contributors);
+  EXPECT_EQ(a.live_workers, b.live_workers);
+}
+
+TEST(LockstepDeterminism, Horovod) { ExpectIdenticalRuns(Protocol::kHorovod); }
+
+TEST(LockstepDeterminism, EagerSgd) {
+  ExpectIdenticalRuns(Protocol::kEagerSgd);
+}
+
+TEST(LockstepDeterminism, AdPsgd) { ExpectIdenticalRuns(Protocol::kAdPsgd); }
+
+TEST(LockstepDeterminism, Rna) { ExpectIdenticalRuns(Protocol::kRna); }
+
+TEST(LockstepDeterminism, RnaHierarchical) {
+  ExpectIdenticalRuns(Protocol::kRnaHierarchical);
+}
+
+TEST(LockstepDeterminism, Sgp) { ExpectIdenticalRuns(Protocol::kSgp); }
+
+TEST(LockstepDeterminism, CentralizedPs) {
+  ExpectIdenticalRuns(Protocol::kCentralizedPs);
+}
+
+TEST(LockstepDeterminism, DifferentSeedsActuallyDiverge) {
+  // Sanity check that the property above is not vacuous (e.g. a runner
+  // ignoring its inputs would pass every identity test).
+  Scenario s = SmallScenario();
+  TrainerConfig config = LockstepConfig(Protocol::kRna);
+  const TrainResult a = core::RunTraining(config, s.factory, s.train, s.val);
+  config.seed = 4242;
+  config.model_seed = 4243;
+  const TrainResult b = core::RunTraining(config, s.factory, s.train, s.val);
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    any_diff |= a.final_params[i] != b.final_params[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace rna

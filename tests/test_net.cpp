@@ -233,5 +233,92 @@ TEST(Mailbox, PutAfterCloseRejected) {
   EXPECT_FALSE(box.Put(std::move(m)));
 }
 
+TEST(Mailbox, GetAnyForReturnsEarliestMatching) {
+  Mailbox box;
+  box.Put(Make(7, {7.0f}));
+  box.Put(Make(8, {8.0f}));
+  const int tags[] = {8, 7};
+  // Front-of-queue wins, same as GetAny: arrival order, not tag-list order.
+  auto msg = box.GetAnyFor(tags, 1.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, 7);
+}
+
+TEST(Mailbox, GetAnyForTimesOutLeavingOtherTagsIntact) {
+  Mailbox box;
+  box.Put(Make(3));
+  const int tags[] = {1, 2};
+  const common::Stopwatch watch;
+  EXPECT_FALSE(box.GetAnyFor(tags, 0.02).has_value());
+  EXPECT_GE(watch.Elapsed(), 0.015);
+  // The non-matching message was not consumed or reordered.
+  EXPECT_EQ(box.Pending(3), 1u);
+}
+
+TEST(Mailbox, GetAnyForWakesOnArrival) {
+  Mailbox box;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.Put(Make(2));
+  });
+  const int tags[] = {1, 2};
+  const common::Stopwatch watch;
+  auto msg = box.GetAnyFor(tags, 5.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, 2);
+  EXPECT_LT(watch.Elapsed(), 1.0);
+  sender.join();
+}
+
+TEST(Mailbox, GetAnyForHonorsCloseDuringWait) {
+  // The controller's "probe reply OR goodbye with deadline" wait must not
+  // outlive the fabric: close wakes it with nullopt before the deadline.
+  Mailbox box;
+  std::thread waiter([&] {
+    const int tags[] = {1, 2};
+    const common::Stopwatch watch;
+    EXPECT_FALSE(box.GetAnyFor(tags, 10.0).has_value());
+    EXPECT_LT(watch.Elapsed(), 5.0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  box.Close();
+  waiter.join();
+}
+
+TEST(Mailbox, GetForZeroTimeoutIsOnePopAttempt) {
+  // Zero (and negative) timeouts degenerate to TryGet: no wait, so a poll
+  // loop built on GetFor(…, 0) can never block.
+  Mailbox box;
+  const common::Stopwatch watch;
+  EXPECT_FALSE(box.GetFor(1, 0.0).has_value());
+  EXPECT_FALSE(box.GetFor(1, -1.0).has_value());
+  EXPECT_LT(watch.Elapsed(), 0.01);
+  box.Put(Make(1, {4.0f}));
+  auto msg = box.GetFor(1, 0.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->data[0], 4.0f);
+}
+
+TEST(Mailbox, GetForZeroTimeoutAfterClose) {
+  Mailbox box;
+  box.Put(Make(1));
+  box.Close();
+  // Close drains nothing: queued messages stay readable, then nullopt.
+  EXPECT_TRUE(box.GetFor(1, 0.0).has_value());
+  EXPECT_FALSE(box.GetFor(1, 0.0).has_value());
+}
+
+TEST(Mailbox, PurgeTagRangeRemovesOnlyRange) {
+  Mailbox box;
+  box.Put(Make(10));
+  box.Put(Make(11));
+  box.Put(Make(12));
+  box.Put(Make(20));
+  EXPECT_EQ(box.PurgeTagRange(10, 11), 2u);
+  EXPECT_EQ(box.Pending(10), 0u);
+  EXPECT_EQ(box.Pending(12), 1u);
+  EXPECT_EQ(box.Pending(20), 1u);
+}
+
 }  // namespace
 }  // namespace rna::net

@@ -75,6 +75,112 @@ TEST(Validate, RejectsEachBrokenField) {
   }
 }
 
+TEST(Validate, AcceptsABenignFaultConfig) {
+  TrainerConfig c = ValidConfig();
+  c.fault.drop_prob = 0.1;
+  c.fault.ps_drop_prob = 0.1;
+  train::WorkerFaultSchedule s;
+  s.rank = 1;
+  s.crash_in_round = 5;
+  c.fault.workers.push_back(s);
+  EXPECT_EQ(c.Validate(), "");
+}
+
+TEST(Validate, RejectsEachBrokenFaultField) {
+  struct Case {
+    const char* expect_substr;
+    void (*mutate)(TrainerConfig&);
+  };
+  const Case cases[] = {
+      {"drop_prob", [](TrainerConfig& c) { c.fault.drop_prob = -0.1; }},
+      {"drop_prob", [](TrainerConfig& c) { c.fault.drop_prob = 1.5; }},
+      {"dup_prob", [](TrainerConfig& c) { c.fault.dup_prob = -1.0; }},
+      {"delay_prob", [](TrainerConfig& c) { c.fault.delay_prob = 2.0; }},
+      {"ps_drop_prob", [](TrainerConfig& c) { c.fault.ps_drop_prob = -0.2; }},
+      {"delay_s", [](TrainerConfig& c) { c.fault.delay_s = -0.5; }},
+      {"retry_budget",
+       [](TrainerConfig& c) {
+         c.fault.drop_prob = 0.1;  // make faults Enabled()
+         c.fault.retry_budget = 0;
+       }},
+      {"timeouts",
+       [](TrainerConfig& c) {
+         c.fault.drop_prob = 0.1;
+         c.fault.collective_timeout_s = 0.0;
+       }},
+      {"dead_after_misses",
+       [](TrainerConfig& c) {
+         c.fault.drop_prob = 0.1;
+         c.fault.dead_after_misses = 0;
+       }},
+      {"outside the world",
+       [](TrainerConfig& c) {
+         train::WorkerFaultSchedule s;
+         s.rank = 99;
+         c.fault.workers.push_back(s);
+       }},
+      {"beyond max_rounds",
+       [](TrainerConfig& c) {
+         train::WorkerFaultSchedule s;
+         s.crash_in_round = c.max_rounds;  // would never fire
+         c.fault.workers.push_back(s);
+       }},
+      {"hang_for_s",
+       [](TrainerConfig& c) {
+         train::WorkerFaultSchedule s;
+         s.hang_for_s = -1.0;
+         c.fault.workers.push_back(s);
+       }},
+      {"flaky_prob",
+       [](TrainerConfig& c) {
+         train::WorkerFaultSchedule s;
+         s.flaky_prob = 1.5;
+         c.fault.workers.push_back(s);
+       }},
+      {"lossy fabric",
+       [](TrainerConfig& c) {
+         c.protocol = Protocol::kHorovod;
+         c.fault.drop_prob = 0.1;  // untimed BSP collective would deadlock
+       }},
+      {"lossy fabric",
+       [](TrainerConfig& c) {
+         c.protocol = Protocol::kSgp;
+         c.fault.ps_drop_prob = 0.1;
+       }},
+      {"cannot survive a crash",
+       [](TrainerConfig& c) {
+         c.protocol = Protocol::kHorovod;
+         train::WorkerFaultSchedule s;
+         s.crash_at_iteration = 2;
+         c.fault.workers.push_back(s);
+       }},
+  };
+  for (const Case& test_case : cases) {
+    TrainerConfig c = ValidConfig();
+    test_case.mutate(c);
+    const std::string why = c.Validate();
+    EXPECT_FALSE(why.empty()) << "expected rejection for "
+                              << test_case.expect_substr;
+    EXPECT_NE(why.find(test_case.expect_substr), std::string::npos) << why;
+  }
+}
+
+TEST(Validate, DelayFaultsAreLegalEvenForLosslessProtocols) {
+  // Horovod/SGP reject drop faults (their untimed collectives would
+  // deadlock) but tolerate pure slowness: delay and hang/flaky faults pass.
+  for (Protocol p : {Protocol::kHorovod, Protocol::kSgp}) {
+    TrainerConfig c = ValidConfig(p);
+    c.fault.delay_prob = 0.3;
+    c.fault.delay_s = 0.01;
+    train::WorkerFaultSchedule s;
+    s.rank = 0;
+    s.hang_at_iteration = 1;
+    s.hang_for_s = 0.01;
+    c.fault.workers.push_back(s);
+    EXPECT_EQ(c.Validate(), "") << ProtocolName(p);
+  }
+}
+
 TEST(Validate, ZeroDecayFactorFreezesTrainingAndIsLegal) {
   TrainerConfig c = ValidConfig();
   c.lr_decay_factor = 0.0;

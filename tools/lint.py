@@ -23,6 +23,12 @@ test). Enforces the repo's threading discipline, which Clang's
   unguarded-mutex   every Mutex member must have at least one member
                     annotated RNA_GUARDED_BY / RNA_PT_GUARDED_BY on it, so
                     the capability analysis actually covers the class.
+  untimed-recv      untimed blocking receives (Recv/RecvAny/Get/GetAny)
+                    deadlock the moment fault injection drops the message
+                    they are waiting for; code in src/core and src/ps must
+                    use the deadline variants (RecvFor/RecvAnyFor/GetFor/
+                    GetAnyFor) or carry a lint:allow with the argument for
+                    why the wait can always be satisfied.
   raw-stopwatch     protocol runners must time themselves through rna::obs
                     (ScopedTimer feeds both WorkerTimeBreakdown and the
                     trace, so figures and breakdowns cannot diverge);
@@ -166,6 +172,14 @@ RULES = [
         lambda p: in_library(p) and p != MUTEX_HEADER,
     ),
     Rule(
+        "untimed-recv",
+        r"\.(?:Recv|RecvAny|Get|GetAny)\s*\(",
+        "untimed blocking receive deadlocks when fault injection drops the "
+        "awaited message; use RecvFor/RecvAnyFor/GetFor/GetAnyFor with a "
+        "deadline (or justify with lint:allow)",
+        lambda p: p.startswith(("src/core/", "src/ps/")),
+    ),
+    Rule(
         "raw-stopwatch",
         r"\bStopwatch\b",
         "runner code must time through rna::obs::ScopedTimer (rna/obs/"
@@ -252,6 +266,11 @@ SELFTEST_CASES = [
     ("raw-stopwatch", "src/train/engine.cpp",
      "const common::Stopwatch watch;\n"),
     ("raw-stopwatch", "src/baselines/b.cpp", "Stopwatch w; use(w);\n"),
+    ("untimed-recv", "src/core/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
+    ("untimed-recv", "src/core/engine.cpp",
+     "msg = fabric.RecvAny(self, tags);\n"),
+    ("untimed-recv", "src/ps/server.cpp", "auto req = box.Get(tag);\n"),
+    ("untimed-recv", "src/ps/server.cpp", "auto any = box.GetAny(tags);\n"),
 ]
 
 SELFTEST_CLEAN = [
@@ -275,6 +294,14 @@ SELFTEST_CLEAN = [
     ("tests/t.cpp", "common::Stopwatch watch;\n"),
     ("src/common/include/rna/common/clock.hpp", "class Stopwatch {};\n"),
     ("src/obs/trace.cpp", "// replaces the Stopwatch pattern\n"),
+    # Deadline receives are the sanctioned form, and the rule is scoped to
+    # the protocol layers that must survive message loss.
+    ("src/core/engine.cpp", "auto m = fabric.RecvFor(w, 5, 0.1);\n"),
+    ("src/core/engine.cpp", "msg = fabric.RecvAnyFor(self, tags, left);\n"),
+    ("src/ps/server.cpp", "auto req = box.GetAnyFor(tags, 0.05);\n"),
+    ("src/train/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
+    ("src/core/engine.cpp",
+     "go = fabric.Recv(w, kGo);  // lint:allow(untimed-recv)\n"),
 ]
 
 
