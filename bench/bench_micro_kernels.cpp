@@ -1,10 +1,26 @@
-// google-benchmark microbenchmarks for the compute kernels underlying the
-// training substrate: matmul variants, LSTM step cost vs sequence length
-// (the physical basis of Figure 2's imbalance), attention cost vs length.
+// Microbenchmarks for the compute kernels underlying the training
+// substrate: matmul variants, LSTM step cost vs sequence length (the
+// physical basis of Figure 2's imbalance), attention cost vs length, and
+// the vectorized data-plane kernels (rna/common/simd.hpp) against their
+// scalar references.
+//
+// Two modes (same contract as bench_micro_fabric):
+//   (default)            google-benchmark sweep.
+//   --json-out <path>    pinned kernel workloads written as a
+//                        BENCH_micro_kernels.json artifact for the CI
+//                        bench-smoke regression gate (tools/bench_gate.py).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "rna/common/rng.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/nn/attention.hpp"
 #include "rna/nn/lstm.hpp"
 #include "rna/tensor/ops.hpp"
@@ -39,6 +55,46 @@ void BM_Axpy(benchmark::State& state) {
                           static_cast<std::int64_t>(n * sizeof(float) * 2));
 }
 BENCHMARK(BM_Axpy)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// The data-plane kernels, vectorized (kAuto) vs scalar reference — the
+/// range(1) flag selects the dispatch so the speedup is visible in one
+/// sweep.
+template <typename Kernel>
+void RunKernelBench(benchmark::State& state, Kernel&& kernel) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dispatch = state.range(1) == 0 ? common::simd::Dispatch::kAuto
+                                            : common::simd::Dispatch::kScalar;
+  common::simd::SetDispatch(dispatch);
+  std::vector<float> dst(n, 1.0f), src(n, 0.5f);
+  for (auto _ : state) {
+    kernel(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  common::simd::SetDispatch(common::simd::Dispatch::kAuto);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float) * 2));
+}
+
+void BM_SimdAddInto(benchmark::State& state) {
+  RunKernelBench(state, [](std::span<float> d, std::span<const float> s) {
+    common::simd::AddInto(d, s);
+  });
+}
+BENCHMARK(BM_SimdAddInto)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_SimdScaleInto(benchmark::State& state) {
+  RunKernelBench(state, [](std::span<float> d, std::span<const float>) {
+    common::simd::ScaleInto(d, 0.999f);
+  });
+}
+BENCHMARK(BM_SimdScaleInto)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_SimdWeightedAccumulate(benchmark::State& state) {
+  RunKernelBench(state, [](std::span<float> d, std::span<const float> s) {
+    common::simd::WeightedAccumulate(d, s, 0.25f);
+  });
+}
+BENCHMARK(BM_SimdWeightedAccumulate)->Args({1 << 16, 0})->Args({1 << 16, 1});
 
 /// LSTM forward+backward cost as a function of sequence length — linear,
 /// which is exactly the inherent-imbalance mechanism of Figure 2(b).
@@ -79,4 +135,97 @@ void BM_AttentionSequence(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionSequence)->Arg(8)->Arg(32)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// --json-out mode
+
+/// GB/s of one kernel at 1M floats under the given dispatch.
+template <typename Kernel>
+double MeasureKernelGbps(common::simd::Dispatch dispatch, Kernel&& kernel) {
+  constexpr std::size_t kElems = 1u << 20;
+  constexpr int kWarmup = 5;
+  constexpr int kIters = 50;
+  common::simd::SetDispatch(dispatch);
+  std::vector<float> dst(kElems, 1.0f), src(kElems, 0.5f);
+  for (int i = 0; i < kWarmup; ++i) kernel(dst, src);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) kernel(dst, src);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  common::simd::SetDispatch(common::simd::Dispatch::kAuto);
+  // dst read + write + src read per element.
+  return static_cast<double>(kElems) * sizeof(float) * 2 * kIters / secs /
+         1e9;
+}
+
+template <typename Kernel>
+benchutil::BenchRow KernelRow(const std::string& label, Kernel&& kernel) {
+  benchutil::BenchRow row;
+  row.label = label;
+  const double wide =
+      MeasureKernelGbps(common::simd::Dispatch::kAuto, kernel);
+  const double narrow =
+      MeasureKernelGbps(common::simd::Dispatch::kScalar, kernel);
+  row.values["gbps_auto"] = wide;
+  row.values["gbps_scalar"] = narrow;
+  row.values["speedup"] = wide / narrow;
+  return row;
+}
+
+int JsonMain(const std::string& path) {
+  std::vector<benchutil::BenchRow> rows;
+  rows.push_back(
+      KernelRow("add_into_1m", [](std::span<float> d,
+                                  std::span<const float> s) {
+        common::simd::AddInto(d, s);
+      }));
+  rows.push_back(
+      KernelRow("scale_into_1m", [](std::span<float> d,
+                                    std::span<const float>) {
+        common::simd::ScaleInto(d, 0.999f);
+      }));
+  rows.push_back(KernelRow(
+      "weighted_accumulate_1m",
+      [](std::span<float> d, std::span<const float> s) {
+        common::simd::WeightedAccumulate(d, s, 1e-6f);
+      }));
+  rows.push_back(
+      KernelRow("scaled_copy_1m", [](std::span<float> d,
+                                     std::span<const float> s) {
+        common::simd::ScaledCopy(d, s, 0.25f);
+      }));
+  benchutil::WriteBenchJson(path, "micro_kernels", rows);
+  for (const auto& row : rows) {
+    std::printf("%-24s", row.label.c_str());
+    for (const auto& [key, value] : row.values) {
+      std::printf("  %s=%.4g", key.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(11);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!json_out.empty()) return JsonMain(json_out);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

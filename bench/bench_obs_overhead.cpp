@@ -113,8 +113,14 @@ int main() {
       } else if (row.kind == "counter") {
         // Counter values double as op counts: every hot-path counter
         // increments by 1 except fabric.bytes, whose ops are paired 1:1
-        // with fabric.messages.
+        // with fabric.messages, and the fabric.pool.* counters, which the
+        // pool tracks with raw atomics and flushes as one delta per counter
+        // at Fabric::Shutdown (so a bytes-sized value is one CountMetric).
         if (row.name == "fabric.bytes") continue;
+        if (row.name.rfind("fabric.pool.", 0) == 0) {
+          metric_ops += 1.0;
+          continue;
+        }
         metric_ops += row.value;
         if (row.name == "fabric.messages") metric_ops += row.value;
       } else {

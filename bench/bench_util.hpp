@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "rna/core/rna.hpp"
 #include "rna/data/generators.hpp"
 #include "rna/obs/export.hpp"
@@ -210,31 +211,9 @@ inline void PrintRule(int width = 78) {
 }
 
 // ---------------------------------------------------------------------------
-// Machine-readable bench output (the CI bench-smoke job collects these as
-// BENCH_*.json artifacts) and trace export plumbing shared by the harnesses.
-
-/// One labelled row of numeric results.
-struct BenchRow {
-  std::string label;
-  std::map<std::string, double> values;
-};
-
-/// Writes `{"bench": <name>, "rows": [{"label": ..., <key>: <value>...}]}`.
-inline void WriteBenchJson(const std::string& path, const std::string& bench,
-                           const std::vector<BenchRow>& rows) {
-  std::ofstream out(path);
-  if (!out.good()) throw std::runtime_error("cannot open " + path);
-  out << "{\"bench\":\"" << bench << "\",\"rows\":[";
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    out << (r ? ",\n" : "\n") << "{\"label\":\"" << rows[r].label << '"';
-    for (const auto& [key, value] : rows[r].values) {
-      out << ",\"" << key << "\":" << value;
-    }
-    out << "}";
-  }
-  out << "\n]}\n";
-  if (!out.good()) throw std::runtime_error("failed writing " + path);
-}
+// Machine-readable bench output: BenchRow and WriteBenchJson live in
+// bench_json.hpp (included above) so JSON emission does not require the
+// training stack. Trace export plumbing shared by the harnesses follows.
 
 /// "out/trace.json" + "rna" → "out/trace-rna.json" — harnesses that run
 /// several protocols against one --trace-out flag write one file per run.

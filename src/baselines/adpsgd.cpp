@@ -158,9 +158,17 @@ TrainResult RunAdPsgd(const TrainerConfig& config, const ModelFactory& factory,
           comm_timer.SetArg("iter", static_cast<double>(iter));
           comm_timer.SetArg("peer", static_cast<double>(peer));
           fabric.Send(w, peer, std::move(req));
-          rep = faulty ? fabric.RecvFor(w, tags::kAvgRep,
-                                        config.fault.collective_timeout_s)
-                       : fabric.Recv(w, tags::kAvgRep);
+          if (faulty) {
+            rep = fabric.RecvFor(w, tags::kAvgRep,
+                                 config.fault.collective_timeout_s);
+          } else {
+            // Lossless fabric: wait for the reply in bounded slices so the
+            // wait still wakes on shutdown (no untimed receive anywhere).
+            for (;;) {
+              rep = fabric.RecvFor(w, tags::kAvgRep, 0.05);
+              if (rep.has_value() || fabric.IsClosed(w)) break;
+            }
+          }
           comm_timer.Stop();
           if (rep.has_value()) {
             gossiped = true;

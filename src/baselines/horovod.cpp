@@ -4,6 +4,7 @@
 #include "rna/baselines/baselines.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/net/fault.hpp"
 #include "rna/obs/trace.hpp"
@@ -40,6 +41,13 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
     fabric.InstallFaultPlan(std::move(plan));
   }
   const bool faulty = config.fault.Enabled();
+  // Under fault injection every collective wait is bounded; a worker whose
+  // barrier or ring times out abandons the run (its peers' own deadlines
+  // release them too). Without faults 0.0 = wait forever, but even that path
+  // uses the For-variants, whose slack waits wake on fabric shutdown — no
+  // untimed receive survives in this file.
+  const common::Seconds hop_timeout =
+      faulty ? config.fault.collective_timeout_s : 0.0;
 
   auto workers = MakeWorkers(config, factory, train_data);
   const std::size_t dim = workers[0]->Dim();
@@ -89,18 +97,29 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
           obs::ScopedTimer wait_timer(track, obs::Category::kWait, "barrier",
                                       &wait_comm[w].wait);
           wait_timer.SetArg("round", static_cast<double>(round));
-          collectives::Barrier(fabric, group, w, tags::BarrierTag(round));
+          // The whole-barrier deadline must cover world − 1 straggling
+          // arrivals at the leader, not just one hop.
+          const common::Seconds barrier_timeout =
+              faulty ? hop_timeout * static_cast<double>(world) : 0.0;
+          if (!collectives::BarrierFor(fabric, group, w,
+                                       tags::BarrierTag(round),
+                                       barrier_timeout)) {
+            break;
+          }
         }
+        bool ring_ok;
         {
           obs::ScopedTimer comm_timer(track, obs::Category::kComm,
                                       "allreduce", &wait_comm[w].comm);
           comm_timer.SetArg("round", static_cast<double>(round));
-          collectives::RingAllreduce(fabric, group, w, buffer,
-                                     tags::RingTag(round));
+          ring_ok = collectives::RingAllreduceFor(
+              fabric, group, w, buffer, tags::RingTag(round), hop_timeout);
         }
+        if (!ring_ok) break;
 
         const float inv_world = 1.0f / static_cast<float>(world);
-        for (std::size_t i = 0; i < dim; ++i) buffer[i] *= inv_world;
+        common::simd::ScaleInto(std::span<float>(buffer.data(), dim),
+                                inv_world);
         optimizer.Step(params, std::span<const float>(buffer.data(), dim));
 
         if (w == 0) {

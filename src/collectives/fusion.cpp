@@ -1,6 +1,7 @@
 #include "rna/collectives/fusion.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "rna/common/check.hpp"
 
@@ -34,45 +35,97 @@ FusionPlan FusionPlan::Build(std::span<const TensorSpec> specs,
   return plan;
 }
 
+namespace {
+
+void PackBucket(const FusionPlan::Bucket& bucket,
+                std::span<const TensorSpec> specs,
+                std::span<float* const> tensors, std::span<float> staging) {
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+    const std::size_t idx = bucket.first_tensor + t;
+    RNA_CHECK(idx < specs.size());
+    std::copy(tensors[idx], tensors[idx] + specs[idx].elements,
+              staging.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += specs[idx].elements;
+  }
+  RNA_CHECK(offset == bucket.elements);
+}
+
+void UnpackBucket(const FusionPlan::Bucket& bucket,
+                  std::span<const TensorSpec> specs,
+                  std::span<float* const> tensors,
+                  std::span<const float> staging) {
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+    const std::size_t idx = bucket.first_tensor + t;
+    std::copy(staging.begin() + static_cast<std::ptrdiff_t>(offset),
+              staging.begin() +
+                  static_cast<std::ptrdiff_t>(offset + specs[idx].elements),
+              tensors[idx]);
+    offset += specs[idx].elements;
+  }
+}
+
+}  // namespace
+
+bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
+                       std::size_t my_index, std::span<const TensorSpec> specs,
+                       std::span<float* const> tensors, const FusionPlan& plan,
+                       int tag_base, common::Seconds hop_timeout) {
+  RNA_CHECK_MSG(specs.size() == tensors.size(),
+                "one buffer per tensor spec required");
+  if (plan.buckets.empty()) return true;
+  const int stride = FusionTagStride(group.Size());
+  const std::size_t peak = plan.MaxBucketElements();
+
+  // Double-buffered staging from the pool: bucket b stages in staging[b%2],
+  // so packing bucket b+1 never touches the buffer whose ring is in flight.
+  std::vector<float> staging[2] = {fabric.Pool().Acquire(peak),
+                                   fabric.Pool().Acquire(peak)};
+  auto stage_span = [&](std::size_t b) {
+    return std::span<float>(staging[b % 2].data(), plan.buckets[b].elements);
+  };
+  auto ring_for = [&](std::size_t b) {
+    return RingPass(fabric, group, my_index, stage_span(b),
+                    tag_base + static_cast<int>(b) * stride, hop_timeout);
+  };
+  auto finish = [&](bool ok) {
+    fabric.Pool().Recycle(std::move(staging[0]));
+    fabric.Pool().Recycle(std::move(staging[1]));
+    return ok;
+  };
+
+  // Software pipeline: while bucket b's ring drains, bucket b+1 is already
+  // packed and its first hop launched. Launching ahead is safe because the
+  // buckets' tag ranges are disjoint and every member packs bucket b+1
+  // before it could ever need our hop data.
+  PackBucket(plan.buckets[0], specs, tensors, stage_span(0));
+  RingPass current = ring_for(0);
+  current.LaunchHop();
+  for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
+    std::optional<RingPass> next;
+    if (b + 1 < plan.buckets.size()) {
+      PackBucket(plan.buckets[b + 1], specs, tensors, stage_span(b + 1));
+      next.emplace(ring_for(b + 1));
+      next->LaunchHop();
+    }
+    while (!current.Done()) {
+      if (!current.CompleteHop()) return finish(false);
+      current.LaunchHop();
+    }
+    UnpackBucket(plan.buckets[b], specs, tensors, stage_span(b));
+    if (next.has_value()) current = std::move(*next);
+  }
+  return finish(true);
+}
+
 void FusedAllreduce(net::Fabric& fabric, const Group& group,
                     std::size_t my_index, std::span<const TensorSpec> specs,
                     std::span<float* const> tensors, const FusionPlan& plan,
                     int tag_base) {
-  RNA_CHECK_MSG(specs.size() == tensors.size(),
-                "one buffer per tensor spec required");
-  // Each bucket's ring uses up to 2·world step tags; space the buckets out
-  // accordingly so concurrent in-flight messages cannot collide.
-  const int stride = static_cast<int>(2 * group.Size() + 2);
-
-  std::vector<float> staging(plan.MaxBucketElements());
-  for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
-    const auto& bucket = plan.buckets[b];
-    // Gather the bucket's tensors into the staging buffer.
-    std::size_t offset = 0;
-    for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
-      const std::size_t idx = bucket.first_tensor + t;
-      RNA_CHECK(idx < specs.size());
-      std::copy(tensors[idx], tensors[idx] + specs[idx].elements,
-                staging.begin() + static_cast<std::ptrdiff_t>(offset));
-      offset += specs[idx].elements;
-    }
-    RNA_CHECK(offset == bucket.elements);
-
-    RingAllreduce(fabric, group, my_index,
-                  std::span<float>(staging.data(), bucket.elements),
-                  tag_base + static_cast<int>(b) * stride);
-
-    // Scatter the reduced values back.
-    offset = 0;
-    for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
-      const std::size_t idx = bucket.first_tensor + t;
-      std::copy(staging.begin() + static_cast<std::ptrdiff_t>(offset),
-                staging.begin() +
-                    static_cast<std::ptrdiff_t>(offset + specs[idx].elements),
-                tensors[idx]);
-      offset += specs[idx].elements;
-    }
-  }
+  RNA_CHECK_MSG(FusedAllreduceFor(fabric, group, my_index, specs, tensors,
+                                  plan, tag_base, /*hop_timeout=*/0.0),
+                "fabric shut down mid-collective");
 }
 
 }  // namespace rna::collectives

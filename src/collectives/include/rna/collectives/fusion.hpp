@@ -6,6 +6,11 @@
 // tensor. Fusion packs consecutive tensors into buckets of bounded size and
 // runs one ring allreduce per bucket, amortizing α while keeping peak
 // staging memory bounded — the classic throughput/latency/memory knob.
+//
+// The fused path is *pipelined*: staging is double-buffered and each
+// bucket's ring is a RingPass with its own tag range, so bucket k+1 is
+// packed and its first hop launched while bucket k's ring is still in
+// flight. Staging buffers come from the fabric's BufferPool.
 
 #include <span>
 #include <string>
@@ -39,14 +44,34 @@ struct FusionPlan {
                           std::size_t max_bucket_elements);
 };
 
+/// Tags consumed per bucket: each bucket's ring uses up to 2·world step
+/// tags; buckets are spaced by this stride so concurrent in-flight buckets
+/// cannot collide. A fused call owns [tag_base, tag_base +
+/// BucketCount()·stride) — the range to purge after an aborted call.
+inline int FusionTagStride(std::size_t world) {
+  return static_cast<int>(2 * world + 2);
+}
+
 /// Cooperative fused sum-allreduce: every group member calls it with the
 /// same specs/plan and its local per-tensor buffers. Each bucket is
 /// gathered into a staging buffer, ring-allreduced (bucket i uses
-/// tag_base + i·ring-width), and scattered back — so results are bitwise
-/// identical to reducing one concatenated buffer.
+/// tag_base + i·FusionTagStride(world)), and scattered back — so results
+/// are bitwise identical to reducing one concatenated buffer.
 void FusedAllreduce(net::Fabric& fabric, const Group& group,
                     std::size_t my_index, std::span<const TensorSpec> specs,
                     std::span<float* const> tensors, const FusionPlan& plan,
                     int tag_base);
+
+/// Timed variant: every hop receive of every bucket's ring is bounded by
+/// `hop_timeout` (0 or negative = wait forever), routed through the same
+/// RingPass deadline machinery as RingAllreduceFor. Returns false when a
+/// hop timed out or the fabric shut down; the tensors are then in an
+/// unspecified partial state (completed buckets reduced, the failed and
+/// later buckets not) and the caller must discard the round and purge the
+/// call's tag range before those tags are reused.
+bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
+                       std::size_t my_index, std::span<const TensorSpec> specs,
+                       std::span<float* const> tensors, const FusionPlan& plan,
+                       int tag_base, common::Seconds hop_timeout);
 
 }  // namespace rna::collectives

@@ -7,6 +7,14 @@
 // group must call the same operation with the same tag_base, exactly like an
 // MPI collective.
 //
+// Data plane (see DESIGN.md "Data plane & memory"): hop payloads are
+// acquired from the fabric's BufferPool and recycled by the receiver after
+// folding, so a steady-state ring moves buffers instead of allocating them;
+// the reduce-scatter accumulate and the W = 1/Σw re-weight run through the
+// vectorized kernels in rna/common/simd.hpp (bitwise identical to their
+// scalar references). Hops are exposed as a resumable RingPass state
+// machine so fusion can pipeline several buckets' rings.
+//
 // `RingPartialAllreduce` is the partial-collective variant RNA is built on:
 // each rank declares whether it contributes a real gradient; a contributor
 // count rides along in the reduction, and the reduced sum is re-weighted by
@@ -34,6 +42,57 @@ struct Group {
   std::size_t IndexOf(Rank rank) const;
 
   static Group Full(std::size_t world);
+};
+
+/// One ring allreduce pass as a resumable hop state machine: 2(N−1) hops,
+/// each a LaunchHop() (send this step's chunk to the right neighbor, never
+/// blocks) followed by a CompleteHop() (receive, fold, advance). Driving it
+/// to completion hop by hop reproduces RingAllreduceFor exactly; launching
+/// the first hop of pass k+1 before completing pass k is what lets
+/// FusedAllreduceFor pipeline buckets (each pass owns a disjoint tag range).
+///
+/// The caller's `data` span and `group` must outlive the pass. A timeout or
+/// fabric shutdown marks the pass Failed(); the data buffer is then in an
+/// undefined partial state and the pass's tag range should be purged before
+/// the tags are reused.
+class RingPass {
+ public:
+  /// `hop_timeout` > 0 bounds every CompleteHop receive; 0 or negative
+  /// waits until the message arrives or the fabric shuts down.
+  RingPass(net::Fabric& fabric, const Group& group, std::size_t my_index,
+           std::span<float> data, int tag_base, common::Seconds hop_timeout);
+
+  /// Sends the current hop's chunk if it has not been sent yet. No-op when
+  /// the pass is Done(), Failed(), or the hop is already in flight.
+  void LaunchHop();
+
+  /// Receives and folds the current hop (launching it first if needed).
+  /// Returns false when the hop timed out or the fabric shut down — the
+  /// pass is Failed() from then on. Returns true (without work) when Done().
+  bool CompleteHop();
+
+  bool Done() const { return step_ >= total_steps_; }
+  bool Failed() const { return failed_; }
+
+ private:
+  std::span<float> Chunk(std::size_t c) const;
+  int TagOf(std::size_t step) const;
+
+  net::Fabric* fabric_;
+  const Group* group_;
+  std::size_t my_index_;
+  std::span<float> data_;
+  int tag_base_;
+  common::Seconds hop_timeout_;
+
+  std::size_t world_;
+  Rank self_ = 0;
+  Rank right_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::size_t total_steps_ = 0;
+  std::size_t step_ = 0;
+  bool sent_ = false;
+  bool failed_ = false;
 };
 
 /// In-place sum-allreduce: after the call every member's `data` holds the
@@ -82,8 +141,19 @@ bool BroadcastFor(net::Fabric& fabric, const Group& group,
                   std::span<float> data, int tag_base,
                   common::Seconds timeout);
 
-/// Full barrier over the group (gather-to-first + release).
+/// Full barrier over the group (gather-to-first + release). Blocks until
+/// every member arrives or the fabric shuts down.
 void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,
              int tag_base);
+
+/// Timed barrier: `timeout` > 0 bounds the *whole* barrier (the leader's
+/// gather and each follower's release wait share one deadline); 0 or
+/// negative waits forever. Returns false when the deadline passed or the
+/// fabric shut down — some members may then be left waiting on tag_base/
+/// tag_base+1 traffic that never comes, so they must run with a timeout
+/// too (that is the caller's migration contract: no untimed barrier on any
+/// fault-exposed path).
+bool BarrierFor(net::Fabric& fabric, const Group& group, std::size_t my_index,
+                int tag_base, common::Seconds timeout);
 
 }  // namespace rna::collectives

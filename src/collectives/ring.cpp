@@ -4,12 +4,16 @@
 #include <cmath>
 
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 
 namespace rna::collectives {
 
 namespace {
 
 /// Chunk boundaries dividing `n` elements into `parts` near-equal ranges.
+/// With n < parts the tail chunks are empty — their hop messages carry a
+/// zero-length payload, which the fabric (and its fault rules) treat like
+/// any other message.
 std::vector<std::size_t> ChunkOffsets(std::size_t n, std::size_t parts) {
   std::vector<std::size_t> offsets(parts + 1);
   const std::size_t base = n / parts;
@@ -21,6 +25,20 @@ std::vector<std::size_t> ChunkOffsets(std::size_t n, std::size_t parts) {
   }
   offsets[parts] = n;
   return offsets;
+}
+
+/// Granularity of the wait-forever receive loop: bounded RecvFor slices
+/// with an IsClosed check between them, so even "untimed" collectives never
+/// sit in an unbounded blocking receive (the untimed-recv deadlock class).
+constexpr common::Seconds kForeverSlice = 0.05;
+
+std::optional<net::Message> RecvHop(net::Fabric& fabric, Rank self, int tag,
+                                    common::Seconds timeout) {
+  if (timeout > 0.0) return fabric.RecvFor(self, tag, timeout);
+  for (;;) {
+    auto msg = fabric.RecvFor(self, tag, kForeverSlice);
+    if (msg.has_value() || fabric.IsClosed(self)) return msg;
+  }
 }
 
 }  // namespace
@@ -38,59 +56,90 @@ Group Group::Full(std::size_t world) {
   return g;
 }
 
+RingPass::RingPass(net::Fabric& fabric, const Group& group,
+                   std::size_t my_index, std::span<float> data, int tag_base,
+                   common::Seconds hop_timeout)
+    : fabric_(&fabric),
+      group_(&group),
+      my_index_(my_index),
+      data_(data),
+      tag_base_(tag_base),
+      hop_timeout_(hop_timeout),
+      world_(group.Size()) {
+  RNA_CHECK_MSG(world_ > 0 && my_index_ < world_, "bad group index");
+  if (world_ == 1) return;  // total_steps_ stays 0: Done() immediately
+  self_ = group.At(my_index_);
+  right_ = group.At((my_index_ + 1) % world_);
+  offsets_ = ChunkOffsets(data_.size(), world_);
+  total_steps_ = 2 * (world_ - 1);
+}
+
+std::span<float> RingPass::Chunk(std::size_t c) const {
+  return data_.subspan(offsets_[c], offsets_[c + 1] - offsets_[c]);
+}
+
+int RingPass::TagOf(std::size_t step) const {
+  // Reduce-scatter steps use tag_base + step; all-gather steps keep the
+  // historical tag_base + world + gather_step layout (the tag at
+  // tag_base + world − 1 is unused).
+  const std::size_t reduce_steps = world_ - 1;
+  if (step < reduce_steps) return tag_base_ + static_cast<int>(step);
+  return tag_base_ + static_cast<int>(world_ + (step - reduce_steps));
+}
+
+void RingPass::LaunchHop() {
+  if (Done() || failed_ || sent_) return;
+  const std::size_t reduce_steps = world_ - 1;
+  const bool reducing = step_ < reduce_steps;
+  const std::size_t s = reducing ? step_ : step_ - reduce_steps;
+  const std::size_t send_chunk =
+      reducing ? (my_index_ + world_ - s) % world_
+               : (my_index_ + 1 + world_ - s) % world_;
+  const auto out = Chunk(send_chunk);
+  net::Message msg;
+  msg.tag = TagOf(step_);
+  msg.data = fabric_->Pool().Acquire(out.size());
+  std::copy(out.begin(), out.end(), msg.data.begin());
+  fabric_->Send(self_, right_, std::move(msg));
+  sent_ = true;
+}
+
+bool RingPass::CompleteHop() {
+  if (failed_) return false;
+  if (Done()) return true;
+  LaunchHop();
+  auto in = RecvHop(*fabric_, self_, TagOf(step_), hop_timeout_);
+  if (!in.has_value()) {
+    failed_ = true;
+    return false;
+  }
+  const std::size_t reduce_steps = world_ - 1;
+  const bool reducing = step_ < reduce_steps;
+  const std::size_t s = reducing ? step_ : step_ - reduce_steps;
+  const std::size_t recv_chunk =
+      reducing ? (my_index_ + 2 * world_ - s - 1) % world_
+               : (my_index_ + 2 * world_ - s) % world_;
+  const auto target = Chunk(recv_chunk);
+  RNA_CHECK_MSG(in->data.size() == target.size(),
+                "collective chunk size mismatch");
+  if (reducing) {
+    common::simd::AddInto(target, in->data);
+  } else {
+    std::copy(in->data.begin(), in->data.end(), target.begin());
+  }
+  fabric_->Pool().Recycle(std::move(in->data));
+  ++step_;
+  sent_ = false;
+  return true;
+}
+
 bool RingAllreduceFor(net::Fabric& fabric, const Group& group,
                       std::size_t my_index, std::span<float> data,
                       int tag_base, common::Seconds hop_timeout) {
-  const std::size_t world = group.Size();
-  RNA_CHECK_MSG(world > 0 && my_index < world, "bad group index");
-  if (world == 1) return true;
-
-  const Rank self = group.At(my_index);
-  const Rank right = group.At((my_index + 1) % world);
-  const auto offsets = ChunkOffsets(data.size(), world);
-  auto chunk = [&](std::size_t c) {
-    return data.subspan(offsets[c], offsets[c + 1] - offsets[c]);
-  };
-  auto recv_hop = [&](int tag) {
-    return hop_timeout > 0.0 ? fabric.RecvFor(self, tag, hop_timeout)
-                             : fabric.Recv(self, tag);
-  };
-
-  // Reduce-scatter: after world−1 steps this rank owns the fully reduced
-  // chunk (my_index + 1) mod world.
-  for (std::size_t step = 0; step + 1 < world; ++step) {
-    const std::size_t send_chunk = (my_index + world - step) % world;
-    const std::size_t recv_chunk = (my_index + 2 * world - step - 1) % world;
-    auto out = chunk(send_chunk);
-    net::Message msg;
-    msg.tag = tag_base + static_cast<int>(step);
-    msg.data.assign(out.begin(), out.end());
-    fabric.Send(self, right, std::move(msg));
-
-    auto in = recv_hop(tag_base + static_cast<int>(step));
-    if (!in.has_value()) return false;
-    auto target = chunk(recv_chunk);
-    RNA_CHECK_MSG(in->data.size() == target.size(),
-                  "collective chunk size mismatch");
-    for (std::size_t i = 0; i < target.size(); ++i) target[i] += in->data[i];
-  }
-
-  // All-gather: circulate the reduced chunks.
-  for (std::size_t step = 0; step + 1 < world; ++step) {
-    const std::size_t send_chunk = (my_index + 1 + world - step) % world;
-    const std::size_t recv_chunk = (my_index + 2 * world - step) % world;
-    auto out = chunk(send_chunk);
-    net::Message msg;
-    msg.tag = tag_base + static_cast<int>(world + step);
-    msg.data.assign(out.begin(), out.end());
-    fabric.Send(self, right, std::move(msg));
-
-    auto in = recv_hop(tag_base + static_cast<int>(world + step));
-    if (!in.has_value()) return false;
-    auto target = chunk(recv_chunk);
-    RNA_CHECK_MSG(in->data.size() == target.size(),
-                  "collective chunk size mismatch");
-    std::copy(in->data.begin(), in->data.end(), target.begin());
+  RingPass pass(fabric, group, my_index, data, tag_base, hop_timeout);
+  while (!pass.Done()) {
+    pass.LaunchHop();
+    if (!pass.CompleteHop()) return false;
   }
   return true;
 }
@@ -107,14 +156,16 @@ PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
                                    bool contributes, int tag_base,
                                    common::Seconds hop_timeout) {
   // The contributor flag travels as one extra element appended to the
-  // payload, so a single ring pass reduces both gradient and Σw.
-  std::vector<float> buffer(data.size() + 1);
+  // payload, so a single ring pass reduces both gradient and Σw. The
+  // working buffer comes from the fabric pool — a round-per-millisecond
+  // protocol would otherwise allocate a gradient-sized vector per round.
+  std::vector<float> buffer = fabric.Pool().Acquire(data.size() + 1);
   if (contributes) {
     std::copy(data.begin(), data.end(), buffer.begin());
     buffer.back() = 1.0f;
   } else {
     // Null gradient: keep the communication graph, contribute zeros.
-    buffer.back() = 0.0f;
+    std::fill(buffer.begin(), buffer.end(), 0.0f);
   }
 
   PartialResult result;
@@ -124,6 +175,7 @@ PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
     // meaningless — zero the output and tell the caller to skip the step.
     RNA_CHECK_MSG(hop_timeout > 0.0, "fabric shut down mid-collective");
     std::fill(data.begin(), data.end(), 0.0f);
+    fabric.Pool().Recycle(std::move(buffer));
     result.ok = false;
     return result;
   }
@@ -131,10 +183,12 @@ PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
       static_cast<std::size_t>(std::lround(buffer.back()));
   if (result.contributors > 0) {
     const float w = 1.0f / static_cast<float>(result.contributors);
-    for (std::size_t i = 0; i < data.size(); ++i) data[i] = buffer[i] * w;
+    common::simd::ScaledCopy(
+        data, std::span<const float>(buffer.data(), data.size()), w);
   } else {
     std::fill(data.begin(), data.end(), 0.0f);
   }
+  fabric.Pool().Recycle(std::move(buffer));
   return result;
 }
 
@@ -151,15 +205,16 @@ bool BroadcastFor(net::Fabric& fabric, const Group& group,
       if (i == root_index) continue;
       net::Message msg;
       msg.tag = tag_base;
-      msg.data.assign(data.begin(), data.end());
+      msg.data = fabric.Pool().Acquire(data.size());
+      std::copy(data.begin(), data.end(), msg.data.begin());
       fabric.Send(self, group.At(i), std::move(msg));
     }
   } else {
-    auto in = timeout > 0.0 ? fabric.RecvFor(self, tag_base, timeout)
-                            : fabric.Recv(self, tag_base);
+    auto in = RecvHop(fabric, self, tag_base, timeout);
     if (!in.has_value()) return false;
     RNA_CHECK_MSG(in->data.size() == data.size(), "broadcast size mismatch");
     std::copy(in->data.begin(), in->data.end(), data.begin());
+    fabric.Pool().Recycle(std::move(in->data));
   }
   return true;
 }
@@ -171,30 +226,46 @@ void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,
                 "fabric shut down mid-broadcast");
 }
 
-void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,
-             int tag_base) {
+bool BarrierFor(net::Fabric& fabric, const Group& group, std::size_t my_index,
+                int tag_base, common::Seconds timeout) {
   const std::size_t world = group.Size();
   RNA_CHECK_MSG(my_index < world, "bad group index");
-  if (world == 1) return;
+  if (world == 1) return true;
   const Rank self = group.At(my_index);
   const Rank leader = group.At(0);
+  // One deadline covers the whole barrier, so a leader stuck waiting for a
+  // dead member cannot stretch the wait to (world − 1) × timeout.
+  const auto deadline =
+      common::SteadyClock::now() + common::FromSeconds(timeout);
+  auto recv_step = [&](int tag) {
+    if (timeout <= 0.0) return RecvHop(fabric, self, tag, 0.0);
+    const common::Seconds left =
+        common::ToSeconds(deadline - common::SteadyClock::now());
+    if (left <= 0.0) return std::optional<net::Message>{};
+    return fabric.RecvFor(self, tag, left);
+  };
   if (my_index == 0) {
     for (std::size_t i = 1; i < world; ++i) {
-      auto in = fabric.Recv(self, tag_base);
-      RNA_CHECK_MSG(in.has_value(), "fabric shut down mid-barrier");
+      if (!recv_step(tag_base).has_value()) return false;
     }
     for (std::size_t i = 1; i < world; ++i) {
       net::Message release;
       release.tag = tag_base + 1;
       fabric.Send(self, group.At(i), std::move(release));
     }
-  } else {
-    net::Message arrive;
-    arrive.tag = tag_base;
-    fabric.Send(self, leader, std::move(arrive));
-    auto release = fabric.Recv(self, tag_base + 1);
-    RNA_CHECK_MSG(release.has_value(), "fabric shut down mid-barrier");
+    return true;
   }
+  net::Message arrive;
+  arrive.tag = tag_base;
+  fabric.Send(self, leader, std::move(arrive));
+  return recv_step(tag_base + 1).has_value();
+}
+
+void Barrier(net::Fabric& fabric, const Group& group, std::size_t my_index,
+             int tag_base) {
+  RNA_CHECK_MSG(BarrierFor(fabric, group, my_index, tag_base,
+                           /*timeout=*/0.0),
+                "fabric shut down mid-barrier");
 }
 
 }  // namespace rna::collectives

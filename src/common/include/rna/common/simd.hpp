@@ -1,0 +1,187 @@
+#pragma once
+
+// Vectorized elementwise kernels for the collective/fabric data plane: the
+// ring reduce-scatter's chunk accumulate, the W = 1/Σw re-weighting of the
+// partial allreduce, and the staleness-weighted gradient combine. Every
+// kernel is elementwise (no cross-lane reduction), so the wide path is
+// bitwise identical to the scalar reference — tests/test_dataplane.cpp
+// cross-checks this per kernel and end-to-end through the collectives.
+//
+// The wide path uses GCC/Clang vector extensions (8 × f32, compiled to
+// AVX/NEON/whatever the target offers) with memcpy-based unaligned
+// load/store, so it needs no intrinsics header and works on any target the
+// repo builds on. `SetDispatch(Dispatch::kScalar)` forces the scalar
+// reference at runtime — the hook the equivalence suite and the kernel
+// microbench both use.
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <span>
+
+namespace rna::common::simd {
+
+enum class Dispatch {
+  kAuto,    ///< wide path (default)
+  kScalar,  ///< force the scalar reference (tests, microbench baselines)
+};
+
+/// Process-global dispatch switch; kAuto unless a test/bench overrides it.
+void SetDispatch(Dispatch d);
+Dispatch ActiveDispatch();
+
+namespace scalar {
+
+/// dst[i] += src[i]
+inline void AddInto(std::span<float> dst, std::span<const float> src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+/// dst[i] *= s
+inline void ScaleInto(std::span<float> dst, float s) {
+  for (float& x : dst) x *= s;
+}
+
+/// dst[i] += w * src[i]
+inline void WeightedAccumulate(std::span<float> dst,
+                               std::span<const float> src, float w) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += w * src[i];
+}
+
+/// dst[i] = s * src[i]
+inline void ScaledCopy(std::span<float> dst, std::span<const float> src,
+                       float s) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = s * src[i];
+}
+
+/// dst[i] = 0.5 * (dst[i] + src[i]) — the PS kAverage fold. Add-then-halve
+/// order is part of the contract (multiplying by 0.5 is exact, so this is
+/// the correctly-rounded midpoint except at the subnormal edge).
+inline void AverageInto(std::span<float> dst, std::span<const float> src) {
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    dst[i] = 0.5f * (dst[i] + src[i]);
+}
+
+}  // namespace scalar
+
+namespace detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RNA_SIMD_VECTOR_EXT 1
+using V8f = float __attribute__((vector_size(32)));
+constexpr std::size_t kLanes = 8;
+
+inline V8f Load(const float* p) {
+  V8f v;
+  std::memcpy(&v, p, sizeof(V8f));
+  return v;
+}
+
+inline void Store(float* p, V8f v) { std::memcpy(p, &v, sizeof(V8f)); }
+#else
+#define RNA_SIMD_VECTOR_EXT 0
+#endif
+
+#if RNA_SIMD_VECTOR_EXT
+inline void AddInto(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Store(dst + i, Load(dst + i) + Load(src + i));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+inline void ScaleInto(float* dst, float s, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Store(dst + i, Load(dst + i) * s);
+  }
+  for (; i < n; ++i) dst[i] *= s;
+}
+
+inline void WeightedAccumulate(float* dst, const float* src, float w,
+                               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Store(dst + i, Load(dst + i) + Load(src + i) * w);
+  }
+  for (; i < n; ++i) dst[i] += w * src[i];
+}
+
+inline void ScaledCopy(float* dst, const float* src, float s, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Store(dst + i, Load(src + i) * s);
+  }
+  for (; i < n; ++i) dst[i] = s * src[i];
+}
+
+inline void AverageInto(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Store(dst + i, (Load(dst + i) + Load(src + i)) * 0.5f);
+  }
+  for (; i < n; ++i) dst[i] = 0.5f * (dst[i] + src[i]);
+}
+#endif  // RNA_SIMD_VECTOR_EXT
+
+}  // namespace detail
+
+/// dst[i] += src[i]; spans must be equal-sized (size checked by caller).
+inline void AddInto(std::span<float> dst, std::span<const float> src) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    detail::AddInto(dst.data(), src.data(), dst.size());
+    return;
+  }
+#endif
+  scalar::AddInto(dst, src);
+}
+
+/// dst[i] *= s
+inline void ScaleInto(std::span<float> dst, float s) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    detail::ScaleInto(dst.data(), s, dst.size());
+    return;
+  }
+#endif
+  scalar::ScaleInto(dst, s);
+}
+
+/// dst[i] += w * src[i]
+inline void WeightedAccumulate(std::span<float> dst,
+                               std::span<const float> src, float w) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    detail::WeightedAccumulate(dst.data(), src.data(), w, dst.size());
+    return;
+  }
+#endif
+  scalar::WeightedAccumulate(dst, src, w);
+}
+
+/// dst[i] = s * src[i]
+inline void ScaledCopy(std::span<float> dst, std::span<const float> src,
+                       float s) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    detail::ScaledCopy(dst.data(), src.data(), s, dst.size());
+    return;
+  }
+#endif
+  scalar::ScaledCopy(dst, src, s);
+}
+
+/// dst[i] = 0.5 * (dst[i] + src[i])
+inline void AverageInto(std::span<float> dst, std::span<const float> src) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    detail::AverageInto(dst.data(), src.data(), dst.size());
+    return;
+  }
+#endif
+  scalar::AverageInto(dst, src);
+}
+
+}  // namespace rna::common::simd

@@ -1,0 +1,19 @@
+#include "rna/common/simd.hpp"
+
+namespace rna::common::simd {
+
+namespace {
+
+std::atomic<Dispatch> g_dispatch{Dispatch::kAuto};
+
+}  // namespace
+
+void SetDispatch(Dispatch d) {
+  g_dispatch.store(d, std::memory_order_relaxed);
+}
+
+Dispatch ActiveDispatch() {
+  return g_dispatch.load(std::memory_order_relaxed);
+}
+
+}  // namespace rna::common::simd

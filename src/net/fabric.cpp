@@ -159,8 +159,11 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
   if (fault_plan_) fault = fault_plan_->Decide(from, to, msg.tag);
   if (fault.drop) {
     // The sender already paid for the bytes (stats above); the message
-    // simply never arrives — exactly a lossy link.
+    // simply never arrives — exactly a lossy link. Its payload storage is
+    // still perfectly good: recycle it so a drop storm does not degrade
+    // the pool's steady state.
     obs::CountMetric("fault.net.dropped");
+    pool_.Recycle(std::move(msg.data));
     return;
   }
   if (fault.duplicate) obs::CountMetric("fault.net.duplicated");
@@ -273,6 +276,9 @@ std::optional<Message> Fabric::TryRecv(Rank at, int tag) {
 
 void Fabric::Shutdown() {
   for (auto& mailbox : mailboxes_) mailbox->Close();
+  // Counter deltas flush idempotently, so the dtor's second Shutdown only
+  // publishes whatever accrued since this one.
+  pool_.PublishMetrics();
 }
 
 TrafficStats Fabric::StatsFor(Rank rank) const {

@@ -22,6 +22,7 @@
 #include "rna/common/clock.hpp"
 #include "rna/common/mutex.hpp"
 #include "rna/common/thread_annotations.hpp"
+#include "rna/net/buffer_pool.hpp"
 #include "rna/net/message.hpp"
 
 namespace rna::net {
@@ -129,6 +130,12 @@ class Fabric {
   /// Closes every mailbox; all blocked receivers wake with std::nullopt.
   void Shutdown();
 
+  /// The fabric-wide payload freelist. Senders Acquire() hop/push buffers
+  /// from it and receivers Recycle() consumed payloads back, making the
+  /// collective steady state allocation-free (see buffer_pool.hpp for the
+  /// ownership rules). Thread-safe.
+  BufferPool& Pool() { return pool_; }
+
   TrafficStats StatsFor(Rank rank) const;
   TrafficStats TotalStats() const;
 
@@ -147,6 +154,7 @@ class Fabric {
 
   // Immutable after construction; safe to index without a lock.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  BufferPool pool_;
   LatencyModel latency_;
   // Written once by InstallFaultPlan before protocol threads exist; read
   // lock-free by Send afterwards.

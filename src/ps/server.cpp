@@ -1,6 +1,9 @@
 #include "rna/ps/server.hpp"
 
+#include <algorithm>
+
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 
@@ -78,24 +81,27 @@ void ParameterServer::ServeLoop() {
                       "PS payload dimension mismatch");
         switch (mode) {
           case ApplyMode::kAssign:
-            state_ = req->data;
+            std::copy(req->data.begin(), req->data.end(), state_.begin());
             break;
           case ApplyMode::kAddDelta:
-            for (std::size_t i = 0; i < state_.size(); ++i)
-              state_[i] += req->data[i];
+            common::simd::AddInto(state_, req->data);
             break;
           case ApplyMode::kAverage:
-            for (std::size_t i = 0; i < state_.size(); ++i)
-              state_[i] = 0.5f * (state_[i] + req->data[i]);
+            common::simd::AverageInto(state_, req->data);
             break;
         }
         ++version_;
       }
       if (want_reply) {
         reply.meta = {version_};
-        reply.data = state_;
+        // Pooled reply payload: push requests recycled below keep the
+        // freelist warm, so the pull-reply path stops allocating once the
+        // protocol reaches steady state.
+        reply.data = fabric_.Pool().Acquire(state_.size());
+        std::copy(state_.begin(), state_.end(), reply.data.begin());
       }
     }
+    fabric_.Pool().Recycle(std::move(req->data));
     requests_served_.fetch_add(1);
     if (want_reply) fabric_.Send(rank_, req->src, std::move(reply));
   }
@@ -110,7 +116,8 @@ std::optional<std::vector<float>> PsClient::TryCall(
     std::span<const float> values, ApplyMode mode, bool want_reply) {
   // A retried request can produce two replies; drain leftovers so a stale
   // reply from the previous call can never satisfy this one.
-  while (fabric_->TryRecv(self_, PsTags::kReply).has_value()) {
+  while (auto stale = fabric_->TryRecv(self_, PsTags::kReply)) {
+    fabric_->Pool().Recycle(std::move(stale->data));
     obs::CountMetric("ps.stale_replies_dropped");
   }
 
@@ -126,7 +133,8 @@ std::optional<std::vector<float>> PsClient::TryCall(
     req.tag = PsTags::kRequest;
     req.meta = {static_cast<std::int64_t>(mode), want_reply ? 1 : 0,
                 values.empty() ? 0 : 1};
-    req.data.assign(values.begin(), values.end());
+    req.data = fabric_->Pool().Acquire(values.size());
+    std::copy(values.begin(), values.end(), req.data.begin());
     fabric_->Send(self_, server_, std::move(req));
     if (!want_reply) return std::vector<float>{};
 

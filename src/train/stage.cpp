@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 
 namespace rna::train {
 
@@ -59,11 +60,10 @@ std::optional<GradientStage::Drained> GradientStage::Drain() {
             ? static_cast<double>(e.iteration - out.oldest + 1)
             : 1.0;
     weight_sum += w;
-    const auto wf = static_cast<float>(w);
-    for (std::size_t i = 0; i < dim_; ++i) out.grad[i] += wf * e.grad[i];
+    common::simd::WeightedAccumulate(out.grad, e.grad,
+                                     static_cast<float>(w));
   }
-  const auto inv = static_cast<float>(1.0 / weight_sum);
-  for (auto& g : out.grad) g *= inv;
+  common::simd::ScaleInto(out.grad, static_cast<float>(1.0 / weight_sum));
   return out;
 }
 

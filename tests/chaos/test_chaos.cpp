@@ -10,12 +10,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "chaos_util.hpp"
+#include "rna/collectives/fusion.hpp"
 #include "rna/core/rna.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
 #include "rna/sim/workload.hpp"
 #include "rna/train/config.hpp"
 #include "rna/train/metrics.hpp"
@@ -243,6 +251,95 @@ TEST(Chaos, AdPsgdSurvivesPeerCrash) {
   EXPECT_GT(r.gradients_applied, 0u);
   EXPECT_LT(r.final_loss, kChanceLoss);
   for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// The pipelined fused data plane under fire: 10% of all fabric traffic
+// dropped while every rank drives the timed FusedAllreduceFor. An aborted
+// attempt leaves several buckets' rings half-flown (the pipeline launches
+// bucket k+1's first hop before bucket k drains), so the regression this
+// locks is twofold: (1) no hop ever blocks past its deadline — the run
+// terminates; (2) purging the aborted call's whole tag range really clears
+// the in-flight pipeline, so a retry on fresh tags is never satisfied by a
+// stale hop and a fully-completed round is exact on every rank.
+TEST(Chaos, FusedAllreduceRidesOutDropStorm) {
+  constexpr std::size_t kWorld = 4;
+  constexpr std::size_t kTensorElems = 96;
+  constexpr int kMaxAttempts = 64;
+  net::Fabric fabric(kWorld);
+  const auto group = collectives::Group::Full(kWorld);
+  const std::vector<collectives::TensorSpec> specs = {
+      {"grad.a", kTensorElems}, {"grad.b", kTensorElems},
+      {"grad.c", kTensorElems}, {"grad.d", kTensorElems}};
+  const auto plan =
+      collectives::FusionPlan::Build(specs, /*max_bucket_elements=*/128);
+  ASSERT_GE(plan.BucketCount(), 2u) << "pipeline needs several buckets";
+  const int round_span = static_cast<int>(plan.BucketCount()) *
+                         collectives::FusionTagStride(kWorld);
+
+  const std::uint64_t seed = 23 + MatrixSeed();
+  std::printf("[ CHAOS    ] fused-drop seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  auto fault_plan = std::make_shared<net::FaultPlan>(seed);
+  net::FaultRule drop;
+  drop.drop_prob = 0.10;
+  // Confine the storm to the first attempts' tag range: a fused round moves
+  // ~48 messages, so under an endless 10% drop an attempt where *every*
+  // rank completes is a 0.9^48 lottery. The storm window still hammers the
+  // purge/retry path; the clean tail guarantees convergence.
+  drop.tag_lo = 0;
+  drop.tag_hi = 4 * round_span - 1;
+  fault_plan->AddRule(drop);
+  fabric.InstallFaultPlan(fault_plan);
+
+  // Lockstep retries via an in-process std::barrier: a collective needs all
+  // members, so no rank may stop retrying while a peer still failed (a drop
+  // is observed only by its receiver — ranks CAN disagree on whether an
+  // attempt succeeded). Real protocols get this from their controller.
+  std::barrier sync(static_cast<std::ptrdiff_t>(kWorld));
+  std::atomic<int> ok_count{0};
+  std::atomic<int> done_attempt{-1};
+  std::vector<std::vector<std::vector<float>>> tensors(kWorld);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kWorld; ++r) {
+    threads.emplace_back([&, r] {
+      for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        const int tag_base = attempt * round_span;
+        tensors[r].assign(specs.size(),
+                          std::vector<float>(kTensorElems,
+                                             static_cast<float>(r + 1)));
+        std::vector<float*> ptrs;
+        for (auto& t : tensors[r]) ptrs.push_back(t.data());
+        const bool ok = collectives::FusedAllreduceFor(
+            fabric, group, r, specs, ptrs, plan, tag_base,
+            /*hop_timeout=*/0.25);
+        if (ok) {
+          ok_count.fetch_add(1);
+        } else {
+          // Aborted mid-pipeline: purge the whole attempt's tag range so no
+          // stale half-flown hop can satisfy a later round's receive.
+          fabric.Purge(r, tag_base, tag_base + round_span - 1);
+        }
+        sync.arrive_and_wait();
+        if (r == 0 && ok_count.exchange(0) == static_cast<int>(kWorld)) {
+          done_attempt.store(attempt);
+        }
+        sync.arrive_and_wait();
+        if (done_attempt.load() >= 0) return;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // (1) Termination: some attempt completed on every rank within budget —
+  // no hop blocked past its deadline and purge really cleared the pipeline.
+  ASSERT_GE(done_attempt.load(), 0) << "no attempt completed on all ranks";
+  // (2) Consistency: the agreed attempt's sum is exact (1+2+3+4 per
+  // element) on every rank — a stale-hop corruption would break this.
+  for (std::size_t r = 0; r < kWorld; ++r) {
+    for (const auto& tensor : tensors[r]) {
+      for (const float x : tensor) ASSERT_EQ(x, 10.0f) << "rank " << r;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,549 @@
+// Data-plane regression suite (see DESIGN.md "Data plane & memory"):
+//   - the vectorized kernels in rna/common/simd.hpp are bitwise identical
+//     to their scalar references, standalone and end-to-end through the
+//     pooled ring / fused / partial collectives;
+//   - empty chunks (world > data.size()) survive fault-injected fabrics and
+//     tag purges;
+//   - BarrierFor honours its whole-barrier deadline;
+//   - the BufferPool really makes the steady state allocation-free (hit
+//     counters), and its metrics reach the registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "rna/collectives/fusion.hpp"
+#include "rna/collectives/ring.hpp"
+#include "rna/common/simd.hpp"
+#include "rna/net/fabric.hpp"
+#include "rna/net/fault.hpp"
+#include "rna/obs/metrics.hpp"
+
+namespace rna {
+namespace {
+
+using collectives::Group;
+
+/// Bitwise float comparison: NaNs and signed zeros must match exactly too.
+::testing::AssertionResult BitwiseEqual(std::span<const float> a,
+                                        std::span<const float> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    if (ba != bb) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " (0x" << std::hex << ba
+             << ") vs " << b[i] << " (0x" << bb << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Deterministic awkward values: mixes magnitudes and signs so rounding
+/// differences between kernel paths cannot hide.
+std::vector<float> TestVector(std::size_t n, std::uint32_t salt) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<float>((i * 2654435761u + salt) % 1000);
+    v[i] = (k - 500.0f) * 1.0009765625f + 1e-3f * static_cast<float>(i % 7);
+  }
+  return v;
+}
+
+/// Restores kAuto dispatch even when an assertion fails mid-test.
+struct ScopedDispatch {
+  explicit ScopedDispatch(common::simd::Dispatch d) {
+    common::simd::SetDispatch(d);
+  }
+  ~ScopedDispatch() {
+    common::simd::SetDispatch(common::simd::Dispatch::kAuto);
+  }
+};
+
+const std::size_t kKernelSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64,
+                                    100, 1027};
+
+TEST(SimdKernels, AddIntoBitwiseMatchesScalar) {
+  for (const std::size_t n : kKernelSizes) {
+    std::vector<float> wide = TestVector(n, 1);
+    std::vector<float> narrow = wide;
+    const std::vector<float> src = TestVector(n, 2);
+    common::simd::detail::AddInto(wide.data(), src.data(), n);
+    common::simd::scalar::AddInto(narrow, src);
+    EXPECT_TRUE(BitwiseEqual(wide, narrow)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, ScaleIntoBitwiseMatchesScalar) {
+  for (const std::size_t n : kKernelSizes) {
+    std::vector<float> wide = TestVector(n, 3);
+    std::vector<float> narrow = wide;
+    common::simd::detail::ScaleInto(wide.data(), 1.0f / 3.0f, n);
+    common::simd::scalar::ScaleInto(narrow, 1.0f / 3.0f);
+    EXPECT_TRUE(BitwiseEqual(wide, narrow)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, WeightedAccumulateBitwiseMatchesScalar) {
+  for (const std::size_t n : kKernelSizes) {
+    std::vector<float> wide = TestVector(n, 4);
+    std::vector<float> narrow = wide;
+    const std::vector<float> src = TestVector(n, 5);
+    common::simd::detail::WeightedAccumulate(wide.data(), src.data(), 2.5f,
+                                             n);
+    common::simd::scalar::WeightedAccumulate(narrow, src, 2.5f);
+    EXPECT_TRUE(BitwiseEqual(wide, narrow)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, ScaledCopyBitwiseMatchesScalar) {
+  for (const std::size_t n : kKernelSizes) {
+    std::vector<float> wide(n, -1.0f), narrow(n, -1.0f);
+    const std::vector<float> src = TestVector(n, 6);
+    common::simd::detail::ScaledCopy(wide.data(), src.data(), 1.0f / 7.0f,
+                                     n);
+    common::simd::scalar::ScaledCopy(narrow, src, 1.0f / 7.0f);
+    EXPECT_TRUE(BitwiseEqual(wide, narrow)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, AverageIntoBitwiseMatchesScalar) {
+  for (const std::size_t n : kKernelSizes) {
+    std::vector<float> wide = TestVector(n, 7);
+    std::vector<float> narrow = wide;
+    const std::vector<float> src = TestVector(n, 8);
+    common::simd::detail::AverageInto(wide.data(), src.data(), n);
+    common::simd::scalar::AverageInto(narrow, src);
+    EXPECT_TRUE(BitwiseEqual(wide, narrow)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, DispatchSwitchSelectsScalar) {
+  ASSERT_EQ(common::simd::ActiveDispatch(), common::simd::Dispatch::kAuto);
+  {
+    ScopedDispatch scoped(common::simd::Dispatch::kScalar);
+    EXPECT_EQ(common::simd::ActiveDispatch(),
+              common::simd::Dispatch::kScalar);
+  }
+  EXPECT_EQ(common::simd::ActiveDispatch(), common::simd::Dispatch::kAuto);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end bitwise equivalence through the collectives. The ring folds
+// chunks in a fixed step order, so for a fixed world size the result is a
+// deterministic function of the inputs — the vectorized and scalar runs
+// must agree bit for bit.
+
+std::vector<std::vector<float>> RunRing(std::size_t world, std::size_t n,
+                                        common::simd::Dispatch dispatch) {
+  ScopedDispatch scoped(dispatch);
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> bufs(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    bufs[r] = TestVector(n, static_cast<std::uint32_t>(r + 1));
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      collectives::RingAllreduce(fabric, group, r, bufs[r], /*tag_base=*/10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return bufs;
+}
+
+TEST(DataPlaneEquivalence, RingAllreduceBitwiseAcrossSizes) {
+  const std::size_t world = 4;
+  // The issue's boundary sizes: empty, single element, world−1, world+1,
+  // and a large non-multiple of both world and the SIMD lane width.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, world - 1,
+                              world + 1, std::size_t{4096 + 5}}) {
+    const auto wide = RunRing(world, n, common::simd::Dispatch::kAuto);
+    const auto narrow = RunRing(world, n, common::simd::Dispatch::kScalar);
+    for (std::size_t r = 0; r < world; ++r) {
+      EXPECT_TRUE(BitwiseEqual(wide[r], narrow[r]))
+          << "n=" << n << " rank=" << r;
+      EXPECT_TRUE(BitwiseEqual(wide[r], wide[0]))
+          << "ranks disagree, n=" << n;
+    }
+  }
+}
+
+std::vector<std::vector<float>> RunPartial(std::size_t world, std::size_t n,
+                                           common::simd::Dispatch dispatch,
+                                           std::size_t* contributors) {
+  ScopedDispatch scoped(dispatch);
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> bufs(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    bufs[r] = TestVector(n, static_cast<std::uint32_t>(100 + r));
+  }
+  std::vector<std::size_t> counts(world, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      const auto result = collectives::RingPartialAllreduce(
+          fabric, group, r, bufs[r], /*contributes=*/r % 2 == 0,
+          /*tag_base=*/10);
+      counts[r] = result.contributors;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 1; r < world; ++r) EXPECT_EQ(counts[r], counts[0]);
+  *contributors = counts[0];
+  return bufs;
+}
+
+TEST(DataPlaneEquivalence, PartialAllreduceBitwiseAcrossSizes) {
+  const std::size_t world = 4;
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, world - 1,
+                              world + 1, std::size_t{1024 + 3}}) {
+    std::size_t wide_count = 0, narrow_count = 0;
+    const auto wide =
+        RunPartial(world, n, common::simd::Dispatch::kAuto, &wide_count);
+    const auto narrow =
+        RunPartial(world, n, common::simd::Dispatch::kScalar, &narrow_count);
+    EXPECT_EQ(wide_count, 2u);  // ranks 0 and 2 contribute
+    EXPECT_EQ(wide_count, narrow_count);
+    for (std::size_t r = 0; r < world; ++r) {
+      EXPECT_TRUE(BitwiseEqual(wide[r], narrow[r]))
+          << "n=" << n << " rank=" << r;
+    }
+  }
+}
+
+/// Fused allreduce must be bitwise identical to ring-reducing each bucket's
+/// concatenation — pipelining and pooled staging change nothing numerically.
+TEST(DataPlaneEquivalence, FusedMatchesPerBucketRingBitwise) {
+  const std::size_t world = 4;
+  const std::vector<collectives::TensorSpec> specs = {
+      {"a", 60}, {"b", 60}, {"c", 60}, {"d", 60}, {"e", 9}};
+  const auto plan = collectives::FusionPlan::Build(specs, /*max=*/128);
+  ASSERT_GE(plan.BucketCount(), 2u) << "need a multi-bucket pipeline";
+
+  // Per-rank tensor inputs.
+  std::vector<std::vector<std::vector<float>>> tensors(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+      tensors[r].push_back(TestVector(
+          specs[t].elements, static_cast<std::uint32_t>(r * 31 + t)));
+    }
+  }
+
+  // Fused run.
+  auto fused = tensors;
+  {
+    net::Fabric fabric(world);
+    const Group group = Group::Full(world);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float*> ptrs;
+        for (auto& t : fused[r]) ptrs.push_back(t.data());
+        collectives::FusedAllreduce(fabric, group, r, specs, ptrs, plan,
+                                    /*tag_base=*/100);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Reference: one plain ring per bucket over the concatenated bucket.
+  for (const auto& bucket : plan.buckets) {
+    net::Fabric fabric(world);
+    const Group group = Group::Full(world);
+    std::vector<std::vector<float>> concat(world);
+    for (std::size_t r = 0; r < world; ++r) {
+      for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+        const auto& src = tensors[r][bucket.first_tensor + t];
+        concat[r].insert(concat[r].end(), src.begin(), src.end());
+      }
+    }
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        collectives::RingAllreduce(fabric, group, r, concat[r],
+                                   /*tag_base=*/10);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t r = 0; r < world; ++r) {
+      std::size_t offset = 0;
+      for (std::size_t t = 0; t < bucket.tensor_count; ++t) {
+        const auto& got = fused[r][bucket.first_tensor + t];
+        EXPECT_TRUE(BitwiseEqual(
+            got, std::span<const float>(concat[r].data() + offset,
+                                        got.size())))
+            << "rank " << r << " tensor " << bucket.first_tensor + t;
+        offset += got.size();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// world > data.size(): the tail chunks are empty and their hops carry
+// zero-length payloads. Those hops must be first-class citizens — fault
+// drops/dups/delays and tag purges included.
+
+TEST(EmptyChunks, RingCorrectWithWorldLargerThanData) {
+  const std::size_t world = 8;
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}, world - 1}) {
+    net::Fabric fabric(world);
+    const Group group = Group::Full(world);
+    std::vector<std::vector<float>> bufs(
+        world, std::vector<float>(n, 1.0f));
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        collectives::RingAllreduce(fabric, group, r, bufs[r],
+                                   /*tag_base=*/10);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t r = 0; r < world; ++r) {
+      for (const float x : bufs[r]) {
+        EXPECT_EQ(x, static_cast<float>(world)) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(EmptyChunks, SurviveDropDupDelayAndPurge) {
+  const std::size_t world = 4;
+  const std::size_t n = 2;  // two non-empty chunks, two empty ones
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+
+  // 30% drop + dup + delay across the first rounds' ring tags (the
+  // zero-length hop payloads are matched like any other message); rounds
+  // past the storm window are clean, so lockstep retries must converge.
+  auto plan = std::make_shared<net::FaultPlan>(/*seed=*/7);
+  net::FaultRule rule;
+  rule.tag_lo = 0;
+  rule.tag_hi = 4 * 64 - 1;  // first 4 rounds of a 64-tag stride
+  rule.drop_prob = 0.3;
+  rule.dup_prob = 0.2;
+  rule.delay_prob = 0.2;
+  rule.delay_s = 0.01;
+  plan->AddRule(rule);
+  fabric.InstallFaultPlan(plan);
+
+  // Retries are coordinated with an in-process std::barrier: a collective
+  // only completes when every member participates, so a rank must not quit
+  // retrying while a peer still needs it (that was the pre-timed-ring
+  // deadlock in thread form). A real protocol gets this from its
+  // controller; the test uses the barrier plus a shared success count.
+  constexpr int kMaxRounds = 16;
+  std::barrier sync(static_cast<std::ptrdiff_t>(world));
+  std::atomic<int> ok_count{0};
+  std::atomic<int> done_round{-1};
+  std::vector<std::vector<float>> bufs(world);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      for (int round = 0; round < kMaxRounds; ++round) {
+        const int tag_base = round * 64;
+        bufs[r].assign(n, 1.0f);
+        const bool ok = collectives::RingAllreduceFor(
+            fabric, group, r, bufs[r], tag_base, /*hop_timeout=*/0.25);
+        if (ok) {
+          ok_count.fetch_add(1);
+        } else {
+          // Aborted: purge the round's tag range (zero-length payloads
+          // included) so stragglers cannot leak into the next attempt.
+          fabric.Purge(r, tag_base, tag_base + 63);
+        }
+        sync.arrive_and_wait();
+        if (r == 0 && ok_count.exchange(0) == static_cast<int>(world)) {
+          done_round.store(round);
+        }
+        sync.arrive_and_wait();
+        if (done_round.load() >= 0) return;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The storm ends by round 4, so some round completed on every rank
+  // simultaneously — and that round's sum is exact everywhere.
+  ASSERT_GE(done_round.load(), 0) << "no round ever completed on all ranks";
+  for (std::size_t r = 0; r < world; ++r) {
+    for (const float x : bufs[r]) {
+      EXPECT_EQ(x, static_cast<float>(world));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BarrierFor deadline semantics.
+
+TEST(BarrierFor, CompletesWhenEveryoneArrives) {
+  const std::size_t world = 4;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<int> ok(world, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      ok[r] = collectives::BarrierFor(fabric, group, r, /*tag_base=*/5,
+                                      /*timeout=*/5.0)
+                  ? 1
+                  : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < world; ++r) EXPECT_EQ(ok[r], 1);
+}
+
+TEST(BarrierFor, LeaderTimesOutOnMissingMember) {
+  net::Fabric fabric(2);
+  const Group group = Group::Full(2);
+  // Member 1 never arrives; the leader must give up by the deadline.
+  EXPECT_FALSE(
+      collectives::BarrierFor(fabric, group, 0, /*tag_base=*/5, 0.2));
+}
+
+TEST(BarrierFor, FollowerTimesOutOnMissingRelease) {
+  net::Fabric fabric(2);
+  const Group group = Group::Full(2);
+  // The leader never runs, so no release ever comes.
+  EXPECT_FALSE(
+      collectives::BarrierFor(fabric, group, 1, /*tag_base=*/5, 0.2));
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool behaviour and metrics.
+
+TEST(BufferPool, SteadyStateRingIsAllocationFree) {
+  const std::size_t world = 4;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  auto run_round = [&](int round) {
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> data(1024, 1.0f);
+        collectives::RingAllreduce(fabric, group, r, data,
+                                   /*tag_base=*/round * 16);
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+  run_round(0);  // warmup populates the freelist
+  const auto warm = fabric.Pool().GetStats();
+  for (int round = 1; round < 5; ++round) run_round(round);
+  const auto done = fabric.Pool().GetStats();
+  EXPECT_EQ(done.misses, warm.misses)
+      << "steady-state ring still allocating";
+  EXPECT_GT(done.hits, warm.hits);
+  EXPECT_GT(done.bytes_reused, warm.bytes_reused);
+}
+
+TEST(BufferPool, ZeroLengthAcquiresDoNotTouchThePool) {
+  net::BufferPool pool;
+  auto buffer = pool.Acquire(0);
+  EXPECT_TRUE(buffer.empty());
+  pool.Recycle(std::move(buffer));
+  const auto stats = pool.GetStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.recycled, 0u);
+}
+
+TEST(BufferPool, BoundedFreelistDiscardsOverflow) {
+  net::BufferPool pool(/*max_buffers=*/2);
+  for (int i = 0; i < 4; ++i) {
+    pool.Recycle(std::vector<float>(8, 0.0f));
+  }
+  const auto stats = pool.GetStats();
+  EXPECT_EQ(stats.recycled, 2u);
+  EXPECT_EQ(stats.discarded, 2u);
+}
+
+TEST(BufferPool, ReusesRecycledCapacity) {
+  net::BufferPool pool;
+  pool.Recycle(std::vector<float>(64, 0.0f));
+  auto buffer = pool.Acquire(32);  // fits in recycled capacity: a hit
+  EXPECT_EQ(buffer.size(), 32u);
+  const auto stats = pool.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.bytes_reused, 32u * sizeof(float));
+}
+
+TEST(BufferPool, PublishesMetricsOnShutdown) {
+  obs::MetricsRegistry registry;
+  obs::SetActiveMetrics(&registry);
+  {
+    net::Fabric fabric(2);
+    const Group group = Group::Full(2);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> data(256, 1.0f);
+        for (int round = 0; round < 3; ++round) {
+          collectives::RingAllreduce(fabric, group, r, data,
+                                     /*tag_base=*/round * 8);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    fabric.Shutdown();
+  }
+  obs::SetActiveMetrics(nullptr);
+  EXPECT_GT(registry.CounterValue("fabric.pool.hits"), 0);
+  EXPECT_GT(registry.CounterValue("fabric.pool.bytes_reused"), 0);
+  EXPECT_GT(registry.GaugeValue("fabric.pool.hit_rate"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timed fused allreduce: hop deadlines propagate through every bucket.
+
+TEST(FusedAllreduceFor, TimesOutWhenAMemberIsAbsent) {
+  const std::size_t world = 3;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  const std::vector<collectives::TensorSpec> specs = {{"a", 32}, {"b", 32}};
+  const auto plan = collectives::FusionPlan::Build(specs, /*max=*/32);
+  // Ranks 0 and 1 run the collective; rank 2 never shows up.
+  std::vector<int> ok(2, 1);
+  std::vector<std::vector<std::vector<float>>> data(2);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      data[r] = {std::vector<float>(32, 1.0f),
+                 std::vector<float>(32, 2.0f)};
+      std::vector<float*> ptrs = {data[r][0].data(), data[r][1].data()};
+      ok[r] = collectives::FusedAllreduceFor(fabric, group, r, specs, ptrs,
+                                             plan, /*tag_base=*/0,
+                                             /*hop_timeout=*/0.2)
+                  ? 1
+                  : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok[0], 0);
+  EXPECT_EQ(ok[1], 0);
+  // The aborted call's contract: purge its whole tag range before reuse.
+  const int span =
+      static_cast<int>(plan.BucketCount()) * collectives::FusionTagStride(3);
+  for (std::size_t r = 0; r < world; ++r) {
+    fabric.Purge(r, 0, span - 1);
+  }
+}
+
+}  // namespace
+}  // namespace rna

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the BENCH_micro_*.json artifacts.
+
+Compares a freshly measured bench JSON (written by `bench_micro_fabric
+--json-out` / `bench_micro_kernels --json-out`) against the committed
+baseline in bench/baselines/, and fails when a throughput metric regressed
+by more than --max-regression (default 20%).
+
+Rules:
+  * Only higher-is-better keys are gated (throughput-style suffixes:
+    *_per_s, gbps_*, speedup, *hit_rate). Other keys are informational.
+  * A row present in the baseline but missing from the current run is an
+    error (a silently dropped workload is not a pass).
+  * New rows/keys in the current run are allowed (the baseline is updated
+    by committing the new artifact, not by editing this script).
+  * Keys listed in ABSOLUTE_FLOORS are additionally checked against a
+    machine-independent floor — ratios like the pool hit rate must hold on
+    any host, so they are gated even when the baseline machine was slower.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_SUFFIXES = ("_per_s", "hit_rate", "speedup")
+GATED_PREFIXES = ("gbps_",)
+
+# label -> key -> floor value (checked as current >= floor, no tolerance).
+ABSOLUTE_FLOORS = {
+    "ring_allreduce_w8_1m": {
+        # Steady-state collectives must be allocation-free: every hop buffer
+        # comes from the pool once it is warm.
+        "pool_hit_rate": 0.9,
+    },
+}
+
+# Lower-is-better keys gated as current <= ceiling.
+ABSOLUTE_CEILINGS = {
+    "ring_allreduce_w8_1m": {
+        "pool_steady_misses": 0.0,
+    },
+}
+
+
+def is_gated(key):
+    return key.endswith(GATED_SUFFIXES) or key.startswith(GATED_PREFIXES)
+
+
+def load_rows(path):
+    data = json.loads(Path(path).read_text())
+    rows = {}
+    for row in data.get("rows", []):
+        label = row.get("label")
+        rows[label] = {k: v for k, v in row.items() if k != "label"}
+    return data.get("bench", "?"), rows
+
+
+def compare(baseline_path, current_path, max_regression):
+    problems = []
+    bench_name, base_rows = load_rows(baseline_path)
+    _, cur_rows = load_rows(current_path)
+    checked = 0
+
+    for label, base_values in sorted(base_rows.items()):
+        if label not in cur_rows:
+            problems.append(f"{bench_name}/{label}: row missing from current run")
+            continue
+        cur_values = cur_rows[label]
+        for key, base in sorted(base_values.items()):
+            if not is_gated(key) or key not in cur_values:
+                continue
+            cur = cur_values[key]
+            checked += 1
+            if base > 0 and cur < base * (1.0 - max_regression):
+                problems.append(
+                    f"{bench_name}/{label}/{key}: {cur:.4g} is "
+                    f"{(1.0 - cur / base) * 100.0:.1f}% below baseline "
+                    f"{base:.4g} (tolerance {max_regression * 100.0:.0f}%)")
+
+    for label, floors in ABSOLUTE_FLOORS.items():
+        if label not in cur_rows:
+            continue
+        for key, floor in floors.items():
+            if key not in cur_rows[label]:
+                problems.append(f"{bench_name}/{label}: missing floor key {key}")
+                continue
+            checked += 1
+            if cur_rows[label][key] < floor:
+                problems.append(
+                    f"{bench_name}/{label}/{key}: {cur_rows[label][key]:.4g} "
+                    f"below required floor {floor:.4g}")
+    for label, ceilings in ABSOLUTE_CEILINGS.items():
+        if label not in cur_rows:
+            continue
+        for key, ceiling in ceilings.items():
+            if key not in cur_rows[label]:
+                problems.append(
+                    f"{bench_name}/{label}: missing ceiling key {key}")
+                continue
+            checked += 1
+            if cur_rows[label][key] > ceiling:
+                problems.append(
+                    f"{bench_name}/{label}/{key}: {cur_rows[label][key]:.4g} "
+                    f"above allowed ceiling {ceiling:.4g}")
+    return bench_name, checked, problems
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+
+BASE_SAMPLE = {
+    "bench": "micro_test",
+    "rows": [
+        {"label": "ring_allreduce_w8_1m", "elems_per_s": 1e8,
+         "pool_hit_rate": 0.99, "pool_steady_misses": 0.0},
+        {"label": "pingpong", "roundtrips_per_s": 5000.0, "note_count": 3.0},
+    ],
+}
+
+
+def self_test():
+    import copy
+    import tempfile
+
+    failures = []
+
+    def run(mutate, expect_problems):
+        cur = copy.deepcopy(BASE_SAMPLE)
+        mutate(cur)
+        with tempfile.TemporaryDirectory() as tmp:
+            bp = Path(tmp) / "base.json"
+            cp = Path(tmp) / "cur.json"
+            bp.write_text(json.dumps(BASE_SAMPLE))
+            cp.write_text(json.dumps(cur))
+            _, _, problems = compare(bp, cp, 0.20)
+        ok = bool(problems) == expect_problems
+        if not ok:
+            failures.append(
+                f"expected problems={expect_problems}, got: {problems}")
+
+    # Identical run passes.
+    run(lambda c: None, expect_problems=False)
+    # 10% dip is within the 20% tolerance.
+    run(lambda c: c["rows"][0].__setitem__("elems_per_s", 0.9e8),
+        expect_problems=False)
+    # 30% dip fails.
+    run(lambda c: c["rows"][0].__setitem__("elems_per_s", 0.7e8),
+        expect_problems=True)
+    # Non-gated keys never fail.
+    run(lambda c: c["rows"][1].__setitem__("note_count", 0.0),
+        expect_problems=False)
+    # A dropped row fails.
+    run(lambda c: c["rows"].pop(1), expect_problems=True)
+    # Hit-rate floor is absolute: 0.5 fails even though baseline-relative
+    # tolerance would allow it against a 0.99 baseline at 60% tolerance.
+    run(lambda c: c["rows"][0].__setitem__("pool_hit_rate", 0.5),
+        expect_problems=True)
+    # Steady-state misses must stay at zero.
+    run(lambda c: c["rows"][0].__setitem__("pool_steady_misses", 4.0),
+        expect_problems=True)
+    # An improvement passes.
+    run(lambda c: c["rows"][0].__setitem__("elems_per_s", 2e8),
+        expect_problems=False)
+
+    if failures:
+        print("bench_gate self-test FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench_gate self-test OK (8 cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--current", type=Path,
+                        help="freshly measured BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional throughput drop "
+                             "(default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own regression tests")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required")
+    for p in (args.baseline, args.current):
+        if not p.is_file():
+            print(f"bench_gate: error: {p} not found", file=sys.stderr)
+            return 2
+
+    bench_name, checked, problems = compare(args.baseline, args.current,
+                                            args.max_regression)
+    for p in problems:
+        print(f"bench_gate: {p}")
+    if problems:
+        print(f"bench_gate: FAILED ({len(problems)} problem(s), "
+              f"{checked} metrics checked)")
+        return 1
+    print(f"bench_gate: OK ({bench_name}: {checked} metrics within "
+          f"{args.max_regression * 100.0:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

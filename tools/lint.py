@@ -25,10 +25,12 @@ test). Enforces the repo's threading discipline, which Clang's
                     the capability analysis actually covers the class.
   untimed-recv      untimed blocking receives (Recv/RecvAny/Get/GetAny)
                     deadlock the moment fault injection drops the message
-                    they are waiting for; code in src/core and src/ps must
-                    use the deadline variants (RecvFor/RecvAnyFor/GetFor/
-                    GetAnyFor) or carry a lint:allow with the argument for
-                    why the wait can always be satisfied.
+                    they are waiting for; code in src/core, src/ps,
+                    src/collectives, and src/baselines must use the deadline
+                    variants (RecvFor/RecvAnyFor/GetFor/GetAnyFor) — or the
+                    bounded-slice loop for wait-forever semantics — or carry
+                    a lint:allow with the argument for why the wait can
+                    always be satisfied.
   raw-stopwatch     protocol runners must time themselves through rna::obs
                     (ScopedTimer feeds both WorkerTimeBreakdown and the
                     trace, so figures and breakdowns cannot diverge);
@@ -177,7 +179,8 @@ RULES = [
         "untimed blocking receive deadlocks when fault injection drops the "
         "awaited message; use RecvFor/RecvAnyFor/GetFor/GetAnyFor with a "
         "deadline (or justify with lint:allow)",
-        lambda p: p.startswith(("src/core/", "src/ps/")),
+        lambda p: p.startswith(("src/core/", "src/ps/", "src/collectives/",
+                                "src/baselines/")),
     ),
     Rule(
         "raw-stopwatch",
@@ -271,6 +274,12 @@ SELFTEST_CASES = [
      "msg = fabric.RecvAny(self, tags);\n"),
     ("untimed-recv", "src/ps/server.cpp", "auto req = box.Get(tag);\n"),
     ("untimed-recv", "src/ps/server.cpp", "auto any = box.GetAny(tags);\n"),
+    ("untimed-recv", "src/collectives/ring.cpp",
+     "auto in = fabric.Recv(self, TagOf(step));\n"),
+    ("untimed-recv", "src/collectives/fusion.cpp",
+     "auto m = box.GetAny(tags);\n"),
+    ("untimed-recv", "src/baselines/adpsgd.cpp",
+     "rep = fabric.Recv(w, tags::kAvgRep);\n"),
 ]
 
 SELFTEST_CLEAN = [
@@ -299,6 +308,10 @@ SELFTEST_CLEAN = [
     ("src/core/engine.cpp", "auto m = fabric.RecvFor(w, 5, 0.1);\n"),
     ("src/core/engine.cpp", "msg = fabric.RecvAnyFor(self, tags, left);\n"),
     ("src/ps/server.cpp", "auto req = box.GetAnyFor(tags, 0.05);\n"),
+    ("src/collectives/ring.cpp",
+     "auto msg = fabric.RecvFor(self, tag, kForeverSlice);\n"),
+    ("src/baselines/horovod.cpp",
+     "ring_ok = collectives::RingAllreduceFor(fabric, group, w, buffer,\n"),
     ("src/train/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
     ("src/core/engine.cpp",
      "go = fabric.Recv(w, kGo);  // lint:allow(untimed-recv)\n"),
