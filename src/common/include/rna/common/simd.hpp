@@ -1,11 +1,23 @@
 #pragma once
 
-// Vectorized elementwise kernels for the collective/fabric data plane: the
+// Vectorized kernels shared by the collective/fabric data plane and the
+// compute plane. The elementwise family (AddInto/ScaleInto/…) covers the
 // ring reduce-scatter's chunk accumulate, the W = 1/Σw re-weighting of the
 // partial allreduce, and the staleness-weighted gradient combine. Every
-// kernel is elementwise (no cross-lane reduction), so the wide path is
+// elementwise kernel has no cross-lane reduction, so the wide path is
 // bitwise identical to the scalar reference — tests/test_dataplane.cpp
 // cross-checks this per kernel and end-to-end through the collectives.
+//
+// The matmul family (MatMulNN/NT/TN, implemented in simd.cpp) extends the
+// same contract to the compute plane: each variant has a scalar reference
+// and a cache-blocked vectorized path whose per-element accumulation order
+// is *identical* to the reference, so vectorized and scalar dispatch are
+// bitwise equal (tests/test_tensor.cpp sweeps awkward shapes to pin this):
+//   * NN and TN accumulate each C element over ascending k with one add per
+//     k and skip alpha·a == 0 contributions in both paths — blocking only
+//     reorders whole (i, k) row passes, never the per-element k order.
+//   * NT splits the k reduction into 8 independent lanes combined by a
+//     fixed pairwise tree; the scalar reference simulates the same lanes.
 //
 // The wide path uses GCC/Clang vector extensions (8 × f32, compiled to
 // AVX/NEON/whatever the target offers) with memcpy-based unaligned
@@ -183,5 +195,36 @@ inline void AverageInto(std::span<float> dst, std::span<const float> src) {
 #endif
   scalar::AverageInto(dst, src);
 }
+
+// ---- dense matmul kernels (row-major, dispatching like the above) ----
+//
+// Shapes are caller-checked; these operate on raw pointers so both the
+// tensor ops layer and the LSTM's strided row updates can use them.
+
+/// C(m×n) = alpha · A(m×k) · B(k×n) + beta · C.
+void MatMulNN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+
+/// C(m×n) = alpha · A(m×k) · Bᵀ + beta · C, with B stored n×k.
+void MatMulNT(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+
+/// C(m×n) = alpha · Aᵀ · B + beta · C, with A stored k×m and B stored k×n.
+void MatMulTN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+
+namespace scalar {
+
+/// Scalar references with the dispatch-independent accumulation orders
+/// documented above; the microbench baselines and equivalence tests call
+/// these directly.
+void MatMulNN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+void MatMulNT(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+void MatMulTN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta);
+
+}  // namespace scalar
 
 }  // namespace rna::common::simd

@@ -1,10 +1,160 @@
 #include "rna/common/simd.hpp"
 
+#include <algorithm>
+
 namespace rna::common::simd {
 
 namespace {
 
 std::atomic<Dispatch> g_dispatch{Dispatch::kAuto};
+
+// Shared by both dispatch paths so the beta handling is bitwise identical.
+inline void ApplyBeta(float* c, std::size_t elems, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + elems, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < elems; ++i) c[i] *= beta;
+  }
+}
+
+// Fixed pairwise reduction of the NT kernel's 8 partial sums. Both the
+// scalar reference and the wide path reduce through this exact tree.
+inline float ReduceLanes(const float* lanes) {
+  return ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+         ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+}
+
+// Cache-blocking tile sizes for the wide kernels: a kBlockK × kBlockN tile
+// of B (32 KiB) stays L1-resident while it is streamed against rows of A.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockN = 128;
+
+#if RNA_SIMD_VECTOR_EXT
+
+using detail::kLanes;
+using detail::Load;
+using detail::Store;
+using detail::V8f;
+
+// C += av · brow over [0, n) — the j-inner body of the NN/TN kernels.
+inline void AccumulateRow(float* crow, const float* brow, float av,
+                          std::size_t n) {
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    Store(crow + j, Load(crow + j) + Load(brow + j) * av);
+  }
+  for (; j < n; ++j) crow[j] += av * brow[j];
+}
+
+void WideMatMulNN(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  // Per C element the k loop still runs 0..k ascending (jb tiles are
+  // disjoint columns, kb tiles are visited in order), matching the scalar
+  // reference exactly.
+  for (std::size_t jb = 0; jb < n; jb += kBlockN) {
+    const std::size_t jn = std::min(kBlockN, n - jb);
+    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+      const std::size_t kn = std::min(kBlockK, k - kb);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n + jb;
+        for (std::size_t kk = kb; kk < kb + kn; ++kk) {
+          const float av = alpha * arow[kk];
+          if (av == 0.0f) continue;
+          AccumulateRow(crow, b + kk * n + jb, av, jn);
+        }
+      }
+    }
+  }
+}
+
+void WideMatMulNT(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  // Four output columns per pass: the A row is loaded once and streamed
+  // against four B rows (4× fewer loads, four independent dependency
+  // chains). Each column keeps its own accumulator/lanes/tail, so the FP
+  // operation sequence per C element is identical to the one-column form
+  // the scalar reference simulates — the unroll is invisible bitwise.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      V8f acc0 = {0, 0, 0, 0, 0, 0, 0, 0};
+      V8f acc1 = {0, 0, 0, 0, 0, 0, 0, 0};
+      V8f acc2 = {0, 0, 0, 0, 0, 0, 0, 0};
+      V8f acc3 = {0, 0, 0, 0, 0, 0, 0, 0};
+      std::size_t kk = 0;
+      for (; kk + kLanes <= k; kk += kLanes) {
+        const V8f av = Load(arow + kk);
+        acc0 += av * Load(b0 + kk);
+        acc1 += av * Load(b1 + kk);
+        acc2 += av * Load(b2 + kk);
+        acc3 += av * Load(b3 + kk);
+      }
+      float lanes[kLanes];
+      Store(lanes, acc0);
+      float s0 = ReduceLanes(lanes);
+      Store(lanes, acc1);
+      float s1 = ReduceLanes(lanes);
+      Store(lanes, acc2);
+      float s2 = ReduceLanes(lanes);
+      Store(lanes, acc3);
+      float s3 = ReduceLanes(lanes);
+      for (; kk < k; ++kk) {
+        const float av = arow[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      crow[j] += alpha * s0;
+      crow[j + 1] += alpha * s1;
+      crow[j + 2] += alpha * s2;
+      crow[j + 3] += alpha * s3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      V8f acc = {0, 0, 0, 0, 0, 0, 0, 0};
+      std::size_t kk = 0;
+      for (; kk + kLanes <= k; kk += kLanes) {
+        acc += Load(arow + kk) * Load(brow + kk);
+      }
+      float lanes[kLanes];
+      Store(lanes, acc);
+      float s = ReduceLanes(lanes);
+      for (; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+void WideMatMulTN(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  // A is stored k×m, so the k loop is outermost; jb tiling keeps the C slab
+  // and the B row slice hot without touching the per-element k order.
+  for (std::size_t jb = 0; jb < n; jb += kBlockN) {
+    const std::size_t jn = std::min(kBlockN, n - jb);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a + kk * m;
+      const float* brow = b + kk * n + jb;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        AccumulateRow(c + i * n + jb, brow, av, jn);
+      }
+    }
+  }
+}
+
+#endif  // RNA_SIMD_VECTOR_EXT
 
 }  // namespace
 
@@ -14,6 +164,100 @@ void SetDispatch(Dispatch d) {
 
 Dispatch ActiveDispatch() {
   return g_dispatch.load(std::memory_order_relaxed);
+}
+
+namespace scalar {
+
+void MatMulNN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  // i-k-j with an ascending k accumulation per C element — the order the
+  // wide path reproduces.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulNT(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  // The dot product over k is split into 8 independent partial sums folded
+  // by a fixed pairwise tree — simulating the wide path's lanes so both
+  // dispatches round identically.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      std::size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        for (std::size_t l = 0; l < 8; ++l) {
+          lanes[l] += arow[kk + l] * brow[kk + l];
+        }
+      }
+      float s = ReduceLanes(lanes);
+      for (; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+void MatMulTN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+  ApplyBeta(c, m * n, beta);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace scalar
+
+void MatMulNN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    WideMatMulNN(a, b, c, m, k, n, alpha, beta);
+    return;
+  }
+#endif
+  scalar::MatMulNN(a, b, c, m, k, n, alpha, beta);
+}
+
+void MatMulNT(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    WideMatMulNT(a, b, c, m, k, n, alpha, beta);
+    return;
+  }
+#endif
+  scalar::MatMulNT(a, b, c, m, k, n, alpha, beta);
+}
+
+void MatMulTN(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, float alpha, float beta) {
+#if RNA_SIMD_VECTOR_EXT
+  if (ActiveDispatch() == Dispatch::kAuto) {
+    WideMatMulTN(a, b, c, m, k, n, alpha, beta);
+    return;
+  }
+#endif
+  scalar::MatMulTN(a, b, c, m, k, n, alpha, beta);
 }
 
 }  // namespace rna::common::simd

@@ -4,7 +4,8 @@
 // stable (softmax − one-hot) / batch form.
 
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <span>
 
 #include "rna/tensor/tensor.hpp"
 
@@ -16,8 +17,15 @@ struct LossResult {
   tensor::Tensor dlogits;         ///< dL/dlogits, already divided by batch
 };
 
-/// logits: B×C; labels: B class indices in [0, C).
+/// logits: B×C; labels: B class indices in [0, C). Takes a span (not a
+/// vector) so the per-sample `{label}` call sites in the classifiers stay
+/// allocation-free on the training hot path.
 LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
-                               const std::vector<std::int32_t>& labels);
+                               std::span<const std::int32_t> labels);
+inline LossResult SoftmaxCrossEntropy(
+    const tensor::Tensor& logits, std::initializer_list<std::int32_t> labels) {
+  return SoftmaxCrossEntropy(
+      logits, std::span<const std::int32_t>(labels.begin(), labels.size()));
+}
 
 }  // namespace rna::nn

@@ -57,6 +57,13 @@ class LstmLayer {
   Tensor input_;                      // T×D
   Tensor gate_i_, gate_f_, gate_g_, gate_o_;
   Tensor cell_, tanh_cell_, hidden_;  // c_t, tanh(c_t), h_t
+
+  // Fixed-size (4H / H) per-step work vectors, allocated once with
+  // Lifetime::kLong on first use so they survive arena scratch resets and
+  // are reused across iterations.
+  Tensor z_;         // pre-activation z_t
+  Tensor dh_, dc_;   // gradients flowing into h_t / c_t
+  Tensor dz_;        // gradient on z_t
 };
 
 }  // namespace rna::nn

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "rna/nn/loss.hpp"
 #include "rna/nn/lstm.hpp"
 #include "rna/nn/norm.hpp"
+#include "rna/tensor/arena.hpp"
 #include "rna/tensor/tensor.hpp"
 
 namespace rna::nn {
@@ -68,8 +70,40 @@ class Network {
   void SetParamsFrom(std::span<const float> in);
   void CopyGradsTo(std::span<float> out);
 
+  /// Every Network owns a per-worker compute arena; ForwardBackward and
+  /// Evaluate run under a step scope so all per-op temporaries are arena
+  /// scratch, released in O(1) when the step ends. Disabling the arena
+  /// restores per-call heap allocation — the naive pre-arena path the
+  /// equivalence tests compare against.
+  void EnableArena(bool enabled) { arena_enabled_ = enabled; }
+  bool ArenaEnabled() const { return arena_enabled_; }
+  tensor::Arena& ComputeArena() { return arena_; }
+
+ protected:
+  /// RAII wrapper the classifiers open around one compute step: activates
+  /// the arena (when enabled) and resets its scratch region on exit.
+  class ComputeScope {
+   public:
+    explicit ComputeScope(Network& net) {
+      if (net.arena_enabled_) scope_.emplace(net.arena_);
+    }
+
+   private:
+    std::optional<tensor::Arena::StepScope> scope_;
+  };
+
+  /// Params()/Grads() build fresh pointer vectors — fine at setup, not per
+  /// step. The flat-copy interface uses these memoized lists instead (model
+  /// structure is immutable after construction).
+  const std::vector<tensor::Tensor*>& CachedParams();
+  const std::vector<tensor::Tensor*>& CachedGrads();
+
  private:
+  tensor::Arena arena_;
+  bool arena_enabled_ = true;
   std::size_t cached_param_count_ = 0;
+  std::vector<tensor::Tensor*> param_cache_;
+  std::vector<tensor::Tensor*> grad_cache_;
 };
 
 /// MLP classifier: Dense/ReLU stack + softmax cross-entropy. The repo's

@@ -25,9 +25,11 @@ class LayerNorm : public Layer {
   float epsilon_;
   Tensor gain_, bias_, dgain_, dbias_;
 
-  // Caches from the last Forward.
-  Tensor normalized_;           // (x − μ)/σ per row
-  std::vector<float> inv_std_;  // 1/σ per row
+  // Caches from the last Forward (arena scratch under a step scope — the
+  // per-call inv_std_.resize() this replaces was the last heap allocation
+  // in the nn hot path; tools/lint.py's nn-raw-alloc rule keeps it out).
+  Tensor normalized_;  // (x − μ)/σ per row
+  Tensor inv_std_;     // 1/σ per row
 };
 
 }  // namespace rna::nn

@@ -9,7 +9,7 @@
 namespace rna::nn {
 
 LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
-                               const std::vector<std::int32_t>& labels) {
+                               std::span<const std::int32_t> labels) {
   const std::size_t batch = logits.Rows();
   const std::size_t classes = logits.Cols();
   RNA_CHECK_MSG(labels.size() == batch, "labels/logits batch mismatch");

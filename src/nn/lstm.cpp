@@ -1,8 +1,10 @@
 #include "rna/nn/lstm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/nn/init.hpp"
 #include "rna/tensor/ops.hpp"
 
@@ -11,6 +13,12 @@ namespace rna::nn {
 namespace {
 
 inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Allocates a fixed-size work vector once (long-lived so it survives arena
+// scratch resets) and reuses it on every subsequent call.
+inline void EnsureScratch(Tensor& t, std::size_t size) {
+  if (t.Size() != size) t = Tensor({size}, tensor::Lifetime::kLong);
+}
 
 }  // namespace
 
@@ -55,7 +63,8 @@ Tensor LstmLayer::Forward(const Tensor& x) {
   Tensor zx({steps, 4 * h_dim});
   tensor::MatMul(x, wx_, zx);
 
-  std::vector<float> z(4 * h_dim);
+  EnsureScratch(z_, 4 * h_dim);
+  float* z = z_.Data();
   for (std::size_t t = 0; t < steps; ++t) {
     const float* zx_row = zx.Data() + t * 4 * h_dim;
     const float* h_prev = t > 0 ? hidden_.Data() + (t - 1) * h_dim : nullptr;
@@ -64,13 +73,9 @@ Tensor LstmLayer::Forward(const Tensor& x) {
     // z = zx_row + h_prev · Wh + b
     for (std::size_t j = 0; j < 4 * h_dim; ++j) z[j] = zx_row[j] + b_[j];
     if (h_prev != nullptr) {
-      const float* wh = wh_.Data();
-      for (std::size_t hh = 0; hh < h_dim; ++hh) {
-        const float hv = h_prev[hh];
-        if (hv == 0.0f) continue;
-        const float* wrow = wh + hh * 4 * h_dim;
-        for (std::size_t j = 0; j < 4 * h_dim; ++j) z[j] += hv * wrow[j];
-      }
+      // z += h_{t-1}(1×H) · Wh(H×4H)
+      common::simd::MatMulNN(h_prev, wh_.Data(), z, 1, h_dim, 4 * h_dim,
+                             1.0f, 1.0f);
     }
 
     float* gi = gate_i_.Data() + t * h_dim;
@@ -122,9 +127,14 @@ Tensor LstmLayer::BackwardSequence(const Tensor& dh_all) {
                 "LSTM dh_all shape mismatch");
 
   Tensor dx({steps, input_dim_});
-  std::vector<float> dh(h_dim, 0.0f);    // gradient flowing into h_t
-  std::vector<float> dc(h_dim, 0.0f);    // gradient flowing into c_t
-  std::vector<float> dz(4 * h_dim);
+  EnsureScratch(dh_, h_dim);      // gradient flowing into h_t
+  EnsureScratch(dc_, h_dim);      // gradient flowing into c_t
+  EnsureScratch(dz_, 4 * h_dim);  // gradient on the pre-activation z_t
+  dh_.Zero();
+  dc_.Zero();
+  float* dh = dh_.Data();
+  float* dc = dc_.Data();
+  float* dz = dz_.Data();
 
   for (std::size_t t = steps; t-- > 0;) {
     // Direct gradient on h_t from the layer above, plus the recurrent path.
@@ -155,44 +165,22 @@ Tensor LstmLayer::BackwardSequence(const Tensor& dh_all) {
     }
 
     // Parameter gradients: dWx += x_tᵀ·dz, dWh += h_{t-1}ᵀ·dz, db += dz.
-    float* dwx = dwx_.Data();
-    for (std::size_t d = 0; d < input_dim_; ++d) {
-      const float xv = xt[d];
-      if (xv == 0.0f) continue;
-      float* row = dwx + d * 4 * h_dim;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j) row[j] += xv * dz[j];
-    }
+    common::simd::MatMulTN(xt, dz, dwx_.Data(), input_dim_, 1, 4 * h_dim,
+                           1.0f, 1.0f);
     if (h_prev != nullptr) {
-      float* dwh = dwh_.Data();
-      for (std::size_t hh = 0; hh < h_dim; ++hh) {
-        const float hv = h_prev[hh];
-        if (hv == 0.0f) continue;
-        float* row = dwh + hh * 4 * h_dim;
-        for (std::size_t j = 0; j < 4 * h_dim; ++j) row[j] += hv * dz[j];
-      }
+      common::simd::MatMulTN(h_prev, dz, dwh_.Data(), h_dim, 1, 4 * h_dim,
+                             1.0f, 1.0f);
     }
-    for (std::size_t j = 0; j < 4 * h_dim; ++j) db_[j] += dz[j];
+    tensor::Axpy(1.0f, dz_.Flat(), db_.Flat());
 
     // dx_t = dz · Wxᵀ ; dh_{t-1} = dz · Whᵀ.
-    float* dxt = dx.Data() + t * input_dim_;
-    const float* wx = wx_.Data();
-    for (std::size_t d = 0; d < input_dim_; ++d) {
-      const float* wrow = wx + d * 4 * h_dim;
-      double acc = 0.0;
-      for (std::size_t j = 0; j < 4 * h_dim; ++j)
-        acc += static_cast<double>(dz[j]) * wrow[j];
-      dxt[d] = static_cast<float>(acc);
-    }
-    std::fill(dh.begin(), dh.end(), 0.0f);
+    common::simd::MatMulNT(dz, wx_.Data(), dx.Data() + t * input_dim_, 1,
+                           4 * h_dim, input_dim_, 1.0f, 0.0f);
     if (t > 0) {
-      const float* wh = wh_.Data();
-      for (std::size_t hh = 0; hh < h_dim; ++hh) {
-        const float* wrow = wh + hh * 4 * h_dim;
-        double acc = 0.0;
-        for (std::size_t j = 0; j < 4 * h_dim; ++j)
-          acc += static_cast<double>(dz[j]) * wrow[j];
-        dh[hh] = static_cast<float>(acc);
-      }
+      common::simd::MatMulNT(dz, wh_.Data(), dh, 1, 4 * h_dim, h_dim, 1.0f,
+                             0.0f);
+    } else {
+      std::fill(dh, dh + h_dim, 0.0f);
     }
   }
   return dx;

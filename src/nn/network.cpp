@@ -7,21 +7,31 @@
 
 namespace rna::nn {
 
+const std::vector<tensor::Tensor*>& Network::CachedParams() {
+  if (param_cache_.empty()) param_cache_ = Params();
+  return param_cache_;
+}
+
+const std::vector<tensor::Tensor*>& Network::CachedGrads() {
+  if (grad_cache_.empty()) grad_cache_ = Grads();
+  return grad_cache_;
+}
+
 std::size_t Network::ParamCount() {
   if (cached_param_count_ == 0) {
-    for (tensor::Tensor* p : Params()) cached_param_count_ += p->Size();
+    for (tensor::Tensor* p : CachedParams()) cached_param_count_ += p->Size();
   }
   return cached_param_count_;
 }
 
 void Network::ZeroGrads() {
-  for (tensor::Tensor* g : Grads()) g->Zero();
+  for (tensor::Tensor* g : CachedGrads()) g->Zero();
 }
 
 void Network::CopyParamsTo(std::span<float> out) {
   RNA_CHECK_MSG(out.size() == ParamCount(), "param buffer size mismatch");
   std::size_t offset = 0;
-  for (tensor::Tensor* p : Params()) {
+  for (tensor::Tensor* p : CachedParams()) {
     auto flat = p->Flat();
     std::copy(flat.begin(), flat.end(), out.begin() + offset);
     offset += flat.size();
@@ -31,7 +41,7 @@ void Network::CopyParamsTo(std::span<float> out) {
 void Network::SetParamsFrom(std::span<const float> in) {
   RNA_CHECK_MSG(in.size() == ParamCount(), "param buffer size mismatch");
   std::size_t offset = 0;
-  for (tensor::Tensor* p : Params()) {
+  for (tensor::Tensor* p : CachedParams()) {
     auto flat = p->Flat();
     std::copy(in.begin() + offset, in.begin() + offset + flat.size(),
               flat.begin());
@@ -42,7 +52,7 @@ void Network::SetParamsFrom(std::span<const float> in) {
 void Network::CopyGradsTo(std::span<float> out) {
   RNA_CHECK_MSG(out.size() == ParamCount(), "grad buffer size mismatch");
   std::size_t offset = 0;
-  for (tensor::Tensor* g : Grads()) {
+  for (tensor::Tensor* g : CachedGrads()) {
     auto flat = g->Flat();
     std::copy(flat.begin(), flat.end(), out.begin() + offset);
     offset += flat.size();
@@ -70,6 +80,7 @@ tensor::Tensor MlpClassifier::ForwardLogits(const Batch& batch) {
 }
 
 BatchResult MlpClassifier::ForwardBackward(const Batch& batch) {
+  ComputeScope scope(*this);
   ZeroGrads();
   tensor::Tensor logits = ForwardLogits(batch);
   LossResult lr = SoftmaxCrossEntropy(logits, batch.labels);
@@ -81,6 +92,7 @@ BatchResult MlpClassifier::ForwardBackward(const Batch& batch) {
 }
 
 BatchResult MlpClassifier::Evaluate(const Batch& batch) {
+  ComputeScope scope(*this);
   tensor::Tensor logits = ForwardLogits(batch);
   LossResult lr = SoftmaxCrossEntropy(logits, batch.labels);
   return {lr.loss, lr.correct, batch.labels.size()};
@@ -120,10 +132,8 @@ LstmClassifier::LstmClassifier(std::size_t input_dim, std::size_t hidden_dim,
 BatchResult LstmClassifier::Run(const Batch& batch, bool train) {
   RNA_CHECK_MSG(!batch.sequences.empty(), "LSTM takes sequence inputs");
   RNA_CHECK(batch.sequences.size() == batch.labels.size());
-  if (train) {
-    lstm_.ZeroGrads();
-    head_.ZeroGrads();
-  }
+  ComputeScope scope(*this);
+  if (train) ZeroGrads();
   dropout_.SetTraining(train);
 
   BatchResult result;
@@ -192,10 +202,8 @@ DeepLstmClassifier::DeepLstmClassifier(std::size_t input_dim,
 
 BatchResult DeepLstmClassifier::Run(const Batch& batch, bool train) {
   RNA_CHECK_MSG(!batch.sequences.empty(), "deep LSTM takes sequence inputs");
-  if (train) {
-    for (auto& layer : layers_) layer.ZeroGrads();
-    head_.ZeroGrads();
-  }
+  ComputeScope scope(*this);
+  if (train) ZeroGrads();
   BatchResult result;
   result.total = batch.labels.size();
   const auto inv_batch =
@@ -285,12 +293,8 @@ TransformerClassifier::TransformerClassifier(std::size_t input_dim,
 BatchResult TransformerClassifier::Run(const Batch& batch, bool train) {
   RNA_CHECK_MSG(!batch.sequences.empty(),
                 "transformer takes sequence inputs");
-  if (train) {
-    proj_.ZeroGrads();
-    mha_.ZeroGrads();
-    norm_.ZeroGrads();
-    head_.ZeroGrads();
-  }
+  ComputeScope scope(*this);
+  if (train) ZeroGrads();
   BatchResult result;
   result.total = batch.labels.size();
   const std::size_t model_dim = norm_.Dim();
@@ -381,10 +385,8 @@ AttentionClassifier::AttentionClassifier(std::size_t input_dim,
 BatchResult AttentionClassifier::Run(const Batch& batch, bool train) {
   RNA_CHECK_MSG(!batch.sequences.empty(), "attention takes sequence inputs");
   RNA_CHECK(batch.sequences.size() == batch.labels.size());
-  if (train) {
-    attention_.ZeroGrads();
-    head_.ZeroGrads();
-  }
+  ComputeScope scope(*this);
+  if (train) ZeroGrads();
 
   BatchResult result;
   result.total = batch.labels.size();

@@ -20,7 +20,7 @@ Tensor LayerNorm::Forward(const Tensor& x) {
   RNA_CHECK_MSG(x.Cols() == dim_, "LayerNorm width mismatch");
   const std::size_t rows = x.Rows();
   normalized_ = Tensor({rows, dim_});
-  inv_std_.resize(rows);
+  inv_std_ = Tensor({rows});
   Tensor y({rows, dim_});
   for (std::size_t r = 0; r < rows; ++r) {
     const float* row = x.Data() + r * dim_;

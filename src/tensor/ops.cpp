@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
 
 namespace rna::tensor {
 
@@ -18,29 +19,14 @@ void CheckMatMulShapes(std::size_t am, std::size_t ak, std::size_t bk,
 
 }  // namespace
 
+// The three matmuls check shapes and delegate to the dispatching blocked
+// kernels in rna/common/simd.hpp (scalar reference under Dispatch::kScalar).
+
 void MatMul(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
             float beta) {
   const std::size_t m = a.Rows(), k = a.Cols(), n = b.Cols();
   CheckMatMulShapes(m, k, b.Rows(), n, c);
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* pc = c.Data();
-  // i-k-j loop order keeps B and C accesses sequential.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const float* arow = pa + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  common::simd::MatMulNN(a.Data(), b.Data(), c.Data(), m, k, n, alpha, beta);
 }
 
 void MatMulNT(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
@@ -49,20 +35,7 @@ void MatMulNT(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
   const std::size_t m = a.Rows(), k = a.Cols(), n = b.Rows();
   RNA_CHECK_MSG(b.Cols() == k, "inner dimensions must match");
   RNA_CHECK_MSG(c.Rows() == m && c.Cols() == n, "output shape does not match");
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* pc = c.Data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-      crow[j] = alpha * static_cast<float>(acc) +
-                (beta == 0.0f ? 0.0f : beta * crow[j]);
-    }
-  }
+  common::simd::MatMulNT(a.Data(), b.Data(), c.Data(), m, k, n, alpha, beta);
 }
 
 void MatMulTN(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
@@ -71,33 +44,16 @@ void MatMulTN(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
   const std::size_t k = a.Rows(), m = a.Cols(), n = b.Cols();
   RNA_CHECK_MSG(b.Rows() == k, "inner dimensions must match");
   RNA_CHECK_MSG(c.Rows() == m && c.Cols() == n, "output shape does not match");
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* pc = c.Data();
-  if (beta == 0.0f) {
-    c.Zero();
-  } else if (beta != 1.0f) {
-    for (auto& x : c.Flat()) x *= beta;
-  }
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  common::simd::MatMulTN(a.Data(), b.Data(), c.Data(), m, k, n, alpha, beta);
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   RNA_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  common::simd::WeightedAccumulate(y, x, alpha);
 }
 
 void Scale(std::span<float> x, float alpha) {
-  for (auto& v : x) v *= alpha;
+  common::simd::ScaleInto(x, alpha);
 }
 
 void Add(std::span<const float> a, std::span<const float> b,

@@ -1,43 +1,109 @@
 #include "rna/tensor/tensor.hpp"
 
-#include <numeric>
+#include <algorithm>
+#include <cstring>
 #include <sstream>
-
-#include "rna/common/check.hpp"
 
 namespace rna::tensor {
 
-namespace {
-
-std::size_t ElementCount(const std::vector<std::size_t>& shape) {
-  std::size_t n = 1;
-  for (auto d : shape) n *= d;
-  return shape.empty() ? 0 : n;
+void Tensor::AllocateStorage(std::size_t n, Lifetime lifetime, bool zero) {
+  size_ = n;
+  if (n == 0) {
+    data_ = nullptr;
+    return;
+  }
+  if (Arena* arena = Arena::Current()) {
+    arena_backed_ = true;
+    data_ = arena->Allocate(n, lifetime);
+  } else {
+    owned_.reset(new float[n]);
+    data_ = owned_.get();
+  }
+  if (zero) std::memset(data_, 0, n * sizeof(float));
 }
 
-}  // namespace
+void Tensor::Release() {
+  owned_.reset();
+  data_ = nullptr;
+  size_ = 0;
+  arena_backed_ = false;
+}
 
-Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(ElementCount(shape_), 0.0f) {}
+Tensor::Tensor(tensor::Shape shape) : shape_(shape) {
+  AllocateStorage(shape_.Elements(), Lifetime::kShort, /*zero=*/true);
+}
 
-Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  RNA_CHECK_MSG(data_.size() == ElementCount(shape_),
+Tensor::Tensor(tensor::Shape shape, Lifetime lifetime) : shape_(shape) {
+  AllocateStorage(shape_.Elements(), lifetime, /*zero=*/true);
+}
+
+Tensor::Tensor(tensor::Shape shape, std::span<const float> data)
+    : shape_(shape) {
+  RNA_CHECK_MSG(data.size() == shape_.Elements(),
                 "data size does not match shape");
+  AllocateStorage(shape_.Elements(), Lifetime::kShort, /*zero=*/false);
+  if (size_ > 0) std::memcpy(data_, data.data(), size_ * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  AllocateStorage(other.size_, Lifetime::kShort, /*zero=*/false);
+  if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  // Reuse in place only when this tensor owns matching heap storage and no
+  // arena is active; an arena-backed destination may hold a stale pointer
+  // from before a ResetScratch, so it always takes fresh storage.
+  const bool reuse = owned_ != nullptr && size_ == other.size_ &&
+                     Arena::Current() == nullptr;
+  if (!reuse) {
+    Release();
+    AllocateStorage(other.size_, Lifetime::kShort, /*zero=*/false);
+  }
+  if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      data_(other.data_),
+      size_(other.size_),
+      arena_backed_(other.arena_backed_),
+      owned_(std::move(other.owned_)) {
+  other.shape_ = tensor::Shape();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.arena_backed_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  owned_ = std::move(other.owned_);
+  data_ = other.data_;
+  size_ = other.size_;
+  arena_backed_ = other.arena_backed_;
+  other.shape_ = tensor::Shape();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.arena_backed_ = false;
+  return *this;
 }
 
 std::size_t Tensor::Rows() const {
-  if (shape_.empty()) return 0;
-  if (shape_.size() == 1) return 1;
+  if (shape_.Rank() == 0) return 0;
+  if (shape_.Rank() == 1) return 1;
   return shape_[0];
 }
 
 std::size_t Tensor::Cols() const {
-  if (shape_.empty()) return 0;
-  if (shape_.size() == 1) return shape_[0];
+  if (shape_.Rank() == 0) return 0;
+  if (shape_.Rank() == 1) return shape_[0];
   // Collapse trailing dimensions: (d0, d1, ..., dn) -> d0 × (d1·...·dn).
   std::size_t c = 1;
-  for (std::size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
+  for (std::size_t i = 1; i < shape_.Rank(); ++i) c *= shape_[i];
   return c;
 }
 
@@ -51,30 +117,32 @@ float Tensor::At(std::size_t r, std::size_t c) const {
   return data_[r * Cols() + c];
 }
 
-void Tensor::Fill(float value) {
-  for (auto& x : data_) x = value;
-}
+void Tensor::Fill(float value) { std::fill(data_, data_ + size_, value); }
 
-void Tensor::Reshape(std::vector<std::size_t> shape) {
-  RNA_CHECK_MSG(ElementCount(shape) == data_.size(),
+void Tensor::Reshape(tensor::Shape shape) {
+  RNA_CHECK_MSG(shape.Elements() == size_,
                 "reshape must preserve element count");
-  shape_ = std::move(shape);
+  shape_ = shape;
 }
 
 double Tensor::Sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) s += data_[i];
+  return s;
 }
 
 double Tensor::SquaredNorm() const {
   double s = 0.0;
-  for (float x : data_) s += static_cast<double>(x) * x;
+  for (std::size_t i = 0; i < size_; ++i) {
+    s += static_cast<double>(data_[i]) * data_[i];
+  }
   return s;
 }
 
 std::string Tensor::ShapeString() const {
   std::ostringstream out;
   out << "(";
-  for (std::size_t i = 0; i < shape_.size(); ++i) {
+  for (std::size_t i = 0; i < shape_.Rank(); ++i) {
     if (i) out << ", ";
     out << shape_[i];
   }

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "rna/common/rng.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/data/generators.hpp"
 #include "rna/nn/layer.hpp"
 #include "rna/nn/loss.hpp"
@@ -386,6 +389,137 @@ TEST_P(MlpGradSweep, GradientsMatch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Hidden, MlpGradSweep, ::testing::Values(1, 4, 16, 33));
+
+// ---------------------------------------------------------------------------
+// Arena/SIMD equivalence: the arena-allocated compute plane with the blocked
+// vectorized kernels must produce BITWISE-identical training trajectories to
+// the naive pre-arena path (heap temporaries + scalar kernels). This is the
+// contract that makes the arena a pure memory optimization and the matmul
+// blocking a pure speed optimization — neither may perturb training.
+
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(common::simd::Dispatch d)
+      : saved_(common::simd::ActiveDispatch()) {
+    common::simd::SetDispatch(d);
+  }
+  ~ScopedDispatch() { common::simd::SetDispatch(saved_); }
+
+ private:
+  common::simd::Dispatch saved_;
+};
+
+std::unique_ptr<Network> EquivModel(const std::string& kind) {
+  if (kind == "mlp") {
+    return std::make_unique<MlpClassifier>(std::vector<std::size_t>{9, 17, 4},
+                                           7);
+  }
+  // Dropout stays ON for the LSTM: both paths must consume identical Rng
+  // streams, so mask draws are part of the equivalence contract.
+  if (kind == "lstm") return std::make_unique<LstmClassifier>(5, 13, 4, 7);
+  if (kind == "deep-lstm") {
+    return std::make_unique<DeepLstmClassifier>(5, 11, 2, 4, 7);
+  }
+  if (kind == "transformer") {
+    return std::make_unique<TransformerClassifier>(5, 16, 2, 4, 7);
+  }
+  return std::make_unique<AttentionClassifier>(5, 11, 4, 7);
+}
+
+Batch EquivBatch(const std::string& kind) {
+  return kind == "mlp" ? DenseBatch(7, 9, 4, 41) : SequenceBatch(5, 5, 4, 41);
+}
+
+struct TrainTrace {
+  std::vector<double> losses;
+  std::vector<float> grads;
+  std::vector<float> params;
+};
+
+TrainTrace RunTrainTrace(const std::string& kind, bool arena,
+                         common::simd::Dispatch dispatch, int iters) {
+  ScopedDispatch guard(dispatch);
+  auto net = EquivModel(kind);
+  net->EnableArena(arena);
+  const Batch batch = EquivBatch(kind);
+
+  const std::size_t dim = net->ParamCount();
+  TrainTrace trace;
+  trace.params.resize(dim);
+  trace.grads.resize(dim);
+  net->CopyParamsTo(trace.params);
+  SgdMomentum opt(dim, {.learning_rate = 0.05, .momentum = 0.9});
+  for (int i = 0; i < iters; ++i) {
+    net->SetParamsFrom(trace.params);
+    trace.losses.push_back(net->ForwardBackward(batch).loss);
+    net->CopyGradsTo(trace.grads);
+    opt.Step(trace.params, trace.grads);
+  }
+  return trace;
+}
+
+void ExpectBitwiseEqual(std::span<const float> a, std::span<const float> b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    if (ba != bb) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << what << ": " << mismatches << "/" << a.size()
+                            << " floats differ bitwise";
+}
+
+class ArenaEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ArenaEquivalence, BitwiseIdenticalToNaivePath) {
+  const int kIters = 4;
+  const TrainTrace fast =
+      RunTrainTrace(GetParam(), /*arena=*/true, common::simd::Dispatch::kAuto,
+                    kIters);
+  const TrainTrace naive =
+      RunTrainTrace(GetParam(), /*arena=*/false,
+                    common::simd::Dispatch::kScalar, kIters);
+  ASSERT_EQ(fast.losses.size(), naive.losses.size());
+  for (int i = 0; i < kIters; ++i) {
+    EXPECT_EQ(fast.losses[i], naive.losses[i])
+        << "loss diverged at iteration " << i;
+  }
+  ExpectBitwiseEqual(fast.grads, naive.grads, "final gradients");
+  ExpectBitwiseEqual(fast.params, naive.params, "final parameters");
+}
+
+// The two switches are independent; flipping only one must also be exact.
+TEST_P(ArenaEquivalence, ArenaAloneIsExact) {
+  const TrainTrace on = RunTrainTrace(GetParam(), /*arena=*/true,
+                                      common::simd::Dispatch::kScalar, 3);
+  const TrainTrace off = RunTrainTrace(GetParam(), /*arena=*/false,
+                                       common::simd::Dispatch::kScalar, 3);
+  EXPECT_EQ(on.losses, off.losses);
+  ExpectBitwiseEqual(on.params, off.params, "final parameters");
+}
+
+TEST_P(ArenaEquivalence, VectorizedKernelsAloneAreExact) {
+  const TrainTrace vec = RunTrainTrace(GetParam(), /*arena=*/true,
+                                       common::simd::Dispatch::kAuto, 3);
+  const TrainTrace sca = RunTrainTrace(GetParam(), /*arena=*/true,
+                                       common::simd::Dispatch::kScalar, 3);
+  EXPECT_EQ(vec.losses, sca.losses);
+  ExpectBitwiseEqual(vec.params, sca.params, "final parameters");
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ArenaEquivalence,
+                         ::testing::Values("mlp", "lstm", "deep-lstm",
+                                           "transformer", "attention"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace rna::nn

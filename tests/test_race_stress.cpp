@@ -20,6 +20,7 @@
 #include "rna/data/generators.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/nn/network.hpp"
+#include "rna/nn/optimizer.hpp"
 #include "rna/ps/server.hpp"
 #include "rna/train/partial_engine.hpp"
 #include "rna/train/stage.hpp"
@@ -327,6 +328,60 @@ TEST(RaceStress, PartialEngineMaxInterleaving) {
     EXPECT_LE(contributors, config.world);
   }
   EXPECT_FALSE(result.final_params.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Compute arenas. Each Network owns its own arena and activates it through a
+// thread_local current-arena pointer, so N workers training concurrently on
+// one process must never share scratch. Same-seed replicas stepping the same
+// batch must then produce IDENTICAL loss sequences on every thread — any
+// cross-thread scratch aliasing (or a data race TSan would flag) breaks the
+// bitwise agreement.
+
+TEST(RaceStress, ConcurrentArenaTrainingIsIsolated) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 6;
+  constexpr std::uint64_t kSeed = 17;
+
+  // Build the shared batch once, outside the arena scopes.
+  nn::Batch batch;
+  {
+    common::Rng rng(kSeed);
+    for (int i = 0; i < 5; ++i) {
+      const std::size_t len = 3 + rng.UniformInt(5);
+      tensor::Tensor seq({len, 6});
+      for (auto& x : seq.Flat()) x = static_cast<float>(rng.Normal(0, 1));
+      batch.sequences.push_back(std::move(seq));
+      batch.labels.push_back(static_cast<std::int32_t>(rng.UniformInt(3)));
+    }
+  }
+
+  std::vector<std::vector<double>> losses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Same-seed replica per thread; dropout off so loss streams depend
+      // only on params + batch, not per-net Rng draw interleaving.
+      nn::LstmClassifier net(6, 12, 3, kSeed, /*dropout_rate=*/0.0);
+      const std::size_t dim = net.ParamCount();
+      std::vector<float> params(dim), grad(dim);
+      net.CopyParamsTo(params);
+      nn::SgdMomentum opt(dim, {.learning_rate = 0.05, .momentum = 0.9});
+      for (int i = 0; i < kIters; ++i) {
+        net.SetParamsFrom(params);
+        losses[t].push_back(net.ForwardBackward(batch).loss);
+        net.CopyGradsTo(grad);
+        opt.Step(params, grad);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(losses[t], losses[0])
+        << "thread " << t << " diverged from thread 0 — arena scratch leaked "
+        << "across threads";
+  }
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "rna/common/rng.hpp"
+#include "rna/common/simd.hpp"
 #include "rna/tensor/ops.hpp"
 #include "rna/tensor/tensor.hpp"
 
@@ -224,6 +227,120 @@ INSTANTIATE_TEST_SUITE_P(Grid, MatMulShapes,
                          ::testing::Combine(::testing::Values(1, 2, 5, 17),
                                             ::testing::Values(1, 3, 8),
                                             ::testing::Values(1, 4, 13)));
+
+// ---------------------------------------------------------------------------
+// Blocked/vectorized kernel contract: for every transpose variant, dispatch
+// kAuto must be BITWISE identical to the scalar reference — not merely close.
+// The sweep leans on awkward shapes: 1×1, primes (never a multiple of the
+// vector width or block size), k=0 (empty reduction), tall/skinny and
+// short/fat extremes, and dims straddling the kBlockK=64 / kBlockN=128
+// blocking boundaries.
+
+class ScopedScalarDispatch {
+ public:
+  ScopedScalarDispatch() : saved_(common::simd::ActiveDispatch()) {
+    common::simd::SetDispatch(common::simd::Dispatch::kScalar);
+  }
+  ~ScopedScalarDispatch() { common::simd::SetDispatch(saved_); }
+
+ private:
+  common::simd::Dispatch saved_;
+};
+
+void ExpectBitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    const float fa = a[i];
+    const float fb = b[i];
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &fa, sizeof(ba));
+    std::memcpy(&bb, &fb, sizeof(bb));
+    ASSERT_EQ(ba, bb) << "bitwise mismatch at flat index " << i << ": " << fa
+                      << " vs " << fb;
+  }
+}
+
+struct MatMulCase {
+  std::size_t m, k, n;
+  float alpha, beta;
+};
+
+class MatMulBitwise : public ::testing::TestWithParam<MatMulCase> {};
+
+TEST_P(MatMulBitwise, VectorizedMatchesScalarBitwise) {
+  const auto [m, k, n, alpha, beta] = GetParam();
+  common::Rng rng(7 + m * 131 + k * 17 + n * 3);
+  Tensor a = RandomTensor(m, k, rng);
+  Tensor b = RandomTensor(k, n, rng);
+  Tensor at = Transpose(a);  // k×m operand for the TN variant
+  Tensor bt = Transpose(b);  // n×k operand for the NT variant
+  // Non-trivial beta needs non-trivial initial C, shared by both paths.
+  Tensor c_init = RandomTensor(m, n, rng);
+
+  struct Variant {
+    const char* name;
+    void (*run)(const Tensor&, const Tensor&, Tensor&, float, float);
+    const Tensor* lhs;
+    const Tensor* rhs;
+  };
+  const Variant variants[] = {
+      {"NN", [](const Tensor& x, const Tensor& y, Tensor& c, float al,
+                float be) { MatMul(x, y, c, al, be); },
+       &a, &b},
+      {"NT", [](const Tensor& x, const Tensor& y, Tensor& c, float al,
+                float be) { MatMulNT(x, y, c, al, be); },
+       &a, &bt},
+      {"TN", [](const Tensor& x, const Tensor& y, Tensor& c, float al,
+                float be) { MatMulTN(x, y, c, al, be); },
+       &at, &b},
+  };
+  for (const auto& v : variants) {
+    SCOPED_TRACE(v.name);
+    Tensor c_auto = c_init;
+    Tensor c_scalar = c_init;
+    v.run(*v.lhs, *v.rhs, c_auto, alpha, beta);
+    {
+      ScopedScalarDispatch scalar;
+      v.run(*v.lhs, *v.rhs, c_scalar, alpha, beta);
+    }
+    ExpectBitwise(c_auto, c_scalar);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, MatMulBitwise,
+    ::testing::Values(
+        MatMulCase{1, 1, 1, 1.0f, 0.0f},       // degenerate
+        MatMulCase{1, 1, 1, -2.5f, 0.75f},     // degenerate + alpha/beta
+        MatMulCase{3, 0, 5, 1.0f, 0.0f},       // k=0: pure beta pass
+        MatMulCase{3, 0, 5, 1.0f, 0.5f},       // k=0 with beta scaling
+        MatMulCase{7, 11, 13, 1.0f, 0.0f},     // all primes
+        MatMulCase{7, 11, 13, 0.5f, 1.0f},     // primes, accumulate mode
+        MatMulCase{2, 63, 129, 1.0f, 0.0f},    // straddles both block edges
+        MatMulCase{2, 64, 128, 1.0f, 0.0f},    // exactly on block edges
+        MatMulCase{2, 65, 127, 1.0f, 0.0f},    // just past / just short
+        MatMulCase{97, 3, 2, 1.0f, 0.0f},      // tall and skinny
+        MatMulCase{2, 3, 97, 1.0f, 0.0f},      // short and fat
+        MatMulCase{5, 8, 8, 1.0f, -1.0f},      // vector-width aligned, β<0
+        MatMulCase{16, 67, 31, 2.0f, 0.25f},   // k past one block, odd n
+        MatMulCase{1, 200, 1, 1.0f, 0.0f}));   // dot-product shaped
+
+// Zeros must take the same skip path in both dispatches (the wide NN/TN
+// kernels skip av==0 rows; the scalar references must skip identically).
+TEST(MatMulBitwiseZeros, SparseInputsMatchBitwise) {
+  common::Rng rng(99);
+  Tensor a = RandomTensor(9, 33, rng);
+  for (std::size_t i = 0; i < a.Size(); i += 3) a.Flat()[i] = 0.0f;
+  Tensor b = RandomTensor(33, 21, rng);
+  Tensor c_auto({9, 21});
+  Tensor c_scalar({9, 21});
+  MatMul(a, b, c_auto);
+  {
+    ScopedScalarDispatch scalar;
+    MatMul(a, b, c_scalar);
+  }
+  ExpectBitwise(c_auto, c_scalar);
+}
 
 }  // namespace
 }  // namespace rna::tensor

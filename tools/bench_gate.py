@@ -42,6 +42,11 @@ ABSOLUTE_CEILINGS = {
     "ring_allreduce_w8_1m": {
         "pool_steady_misses": 0.0,
     },
+    # Steady-state training iterations run entirely out of the compute arena
+    # (bench_micro_nn measures with counting operator new/delete): any heap
+    # allocation after warm-up is a regression regardless of throughput.
+    **{f"train_step_{kind}": {"steady_heap_allocs": 0.0}
+       for kind in ("mlp", "lstm", "deep-lstm", "transformer", "attention")},
 }
 
 
@@ -117,6 +122,8 @@ BASE_SAMPLE = {
         {"label": "ring_allreduce_w8_1m", "elems_per_s": 1e8,
          "pool_hit_rate": 0.99, "pool_steady_misses": 0.0},
         {"label": "pingpong", "roundtrips_per_s": 5000.0, "note_count": 3.0},
+        {"label": "train_step_mlp", "steps_per_s": 3000.0,
+         "steady_heap_allocs": 0.0},
     ],
 }
 
@@ -164,13 +171,21 @@ def self_test():
     # An improvement passes.
     run(lambda c: c["rows"][0].__setitem__("elems_per_s", 2e8),
         expect_problems=False)
+    # A single steady-state heap allocation in a train step fails, even
+    # though the relative gate would never notice a count of 1.0.
+    run(lambda c: c["rows"][2].__setitem__("steady_heap_allocs", 1.0),
+        expect_problems=True)
+    # Dropping the allocation counter from the row fails (the ceiling key
+    # is required, not optional).
+    run(lambda c: c["rows"][2].pop("steady_heap_allocs"),
+        expect_problems=True)
 
     if failures:
         print("bench_gate self-test FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("bench_gate self-test OK (8 cases)")
+    print("bench_gate self-test OK (10 cases)")
     return 0
 
 

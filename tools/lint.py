@@ -183,6 +183,16 @@ RULES = [
                                 "src/baselines/")),
     ),
     Rule(
+        "nn-raw-alloc",
+        r"\.resize\s*\(|\bnew\s+float\b|std::make_unique<\s*float\s*\[\]"
+        r"|std::vector<\s*float\s*>\s+\w+\s*[({]",
+        "per-call heap allocation in the NN hot path defeats the compute "
+        "arena's zero-allocation steady state; use a tensor::Tensor "
+        "(arena-backed scratch, Lifetime::kLong for fixed-size reusable "
+        "buffers) or a member sized at construction",
+        lambda p: p.startswith("src/nn/"),
+    ),
+    Rule(
         "raw-stopwatch",
         r"\bStopwatch\b",
         "runner code must time through rna::obs::ScopedTimer (rna/obs/"
@@ -266,6 +276,11 @@ SELFTEST_CASES = [
     ("raw-mutex", "src/x.cpp", "std::scoped_lock lock(mu_);\n"),
     ("unguarded-mutex", "src/x.hpp",
      "class C { mutable common::Mutex mu_; int x; };\n"),
+    ("nn-raw-alloc", "src/nn/norm.cpp", "inv_std_.resize(rows);\n"),
+    ("nn-raw-alloc", "src/nn/lstm.cpp", "float* z = new float[4 * h];\n"),
+    ("nn-raw-alloc", "src/nn/layer.cpp", "std::vector<float> mask(n);\n"),
+    ("nn-raw-alloc", "src/nn/attention.hpp",
+     "auto buf = std::make_unique<float[]>(len);\n"),
     ("raw-stopwatch", "src/train/engine.cpp",
      "const common::Stopwatch watch;\n"),
     ("raw-stopwatch", "src/baselines/b.cpp", "Stopwatch w; use(w);\n"),
@@ -315,6 +330,14 @@ SELFTEST_CLEAN = [
     ("src/train/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
     ("src/core/engine.cpp",
      "go = fabric.Recv(w, kGo);  // lint:allow(untimed-recv)\n"),
+    # The arena idiom replacing raw allocation in the NN hot path, and
+    # pointer-vector members that are sized once at construction.
+    ("src/nn/lstm.cpp",
+     "if (t.Size() != size) t = Tensor({size}, tensor::Lifetime::kLong);\n"),
+    ("src/nn/network.cpp", "std::vector<tensor::Tensor*> out;\n"),
+    # resize stays legal outside src/nn (the sampler builds batches on the
+    # heap by design).
+    ("src/data/sampler.cpp", "indices.resize(batch_size);\n"),
 ]
 
 
