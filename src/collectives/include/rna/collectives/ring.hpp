@@ -75,6 +75,7 @@ class RingPass {
   bool Failed() const { return failed_; }
 
  private:
+  std::size_t OffsetOf(std::size_t c) const;
   std::span<float> Chunk(std::size_t c) const;
   int TagOf(std::size_t step) const;
 
@@ -88,7 +89,8 @@ class RingPass {
   std::size_t world_;
   Rank self_ = 0;
   Rank right_ = 0;
-  std::vector<std::size_t> offsets_;
+  std::size_t chunk_base_ = 0;
+  std::size_t chunk_extra_ = 0;
   std::size_t total_steps_ = 0;
   std::size_t step_ = 0;
   bool sent_ = false;

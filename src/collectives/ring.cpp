@@ -10,23 +10,6 @@ namespace rna::collectives {
 
 namespace {
 
-/// Chunk boundaries dividing `n` elements into `parts` near-equal ranges.
-/// With n < parts the tail chunks are empty — their hop messages carry a
-/// zero-length payload, which the fabric (and its fault rules) treat like
-/// any other message.
-std::vector<std::size_t> ChunkOffsets(std::size_t n, std::size_t parts) {
-  std::vector<std::size_t> offsets(parts + 1);
-  const std::size_t base = n / parts;
-  const std::size_t extra = n % parts;
-  std::size_t pos = 0;
-  for (std::size_t i = 0; i < parts; ++i) {
-    offsets[i] = pos;
-    pos += base + (i < extra ? 1 : 0);
-  }
-  offsets[parts] = n;
-  return offsets;
-}
-
 /// Granularity of the wait-forever receive loop: bounded RecvFor slices
 /// with an IsClosed check between them, so even "untimed" collectives never
 /// sit in an unbounded blocking receive (the untimed-recv deadlock class).
@@ -70,12 +53,22 @@ RingPass::RingPass(net::Fabric& fabric, const Group& group,
   if (world_ == 1) return;  // total_steps_ stays 0: Done() immediately
   self_ = group.At(my_index_);
   right_ = group.At((my_index_ + 1) % world_);
-  offsets_ = ChunkOffsets(data_.size(), world_);
+  chunk_base_ = data_.size() / world_;
+  chunk_extra_ = data_.size() % world_;
   total_steps_ = 2 * (world_ - 1);
 }
 
+std::size_t RingPass::OffsetOf(std::size_t c) const {
+  // Chunk boundaries dividing the data into `world_` near-equal ranges:
+  // the first `chunk_extra_` chunks carry one extra element. With
+  // n < world the tail chunks are empty — their hop messages carry a
+  // zero-length payload, which the fabric (and its fault rules) treat
+  // like any other message.
+  return c * chunk_base_ + std::min(c, chunk_extra_);
+}
+
 std::span<float> RingPass::Chunk(std::size_t c) const {
-  return data_.subspan(offsets_[c], offsets_[c + 1] - offsets_[c]);
+  return data_.subspan(OffsetOf(c), OffsetOf(c + 1) - OffsetOf(c));
 }
 
 int RingPass::TagOf(std::size_t step) const {

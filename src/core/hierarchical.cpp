@@ -163,7 +163,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           } else {
             // Lossless fast path: without fault injection nothing can
             // drop the Go, and Shutdown() wakes the wait.
-            go = fabric.Recv(w, tags::kGo);  // lint:allow(untimed-recv)
+            go = fabric.Recv(w, tags::kGo);  // analyze:allow(timed-recv)
           }
         }
         if (!go.has_value()) {
@@ -463,7 +463,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
             } else {
               // Lossless fast path: every live member acks its step
               // token, and Shutdown() wakes the wait.
-              msg = fabric.RecvAny(  // lint:allow(untimed-recv)
+              msg = fabric.RecvAny(  // analyze:allow(timed-recv)
                   self, ack_tags);
               if (!msg.has_value()) return;
             }
@@ -568,7 +568,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           } else {
             // Lossless fast path: every member reports its round end,
             // and Shutdown() wakes the wait.
-            msg = fabric.RecvAny(self, want);  // lint:allow(untimed-recv)
+            msg = fabric.RecvAny(self, want);  // analyze:allow(timed-recv)
             if (!msg.has_value()) return;
           }
           const std::size_t idx = index_of(msg->src);

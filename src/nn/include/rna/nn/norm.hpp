@@ -27,7 +27,8 @@ class LayerNorm : public Layer {
 
   // Caches from the last Forward (arena scratch under a step scope — the
   // per-call inv_std_.resize() this replaces was the last heap allocation
-  // in the nn hot path; tools/lint.py's nn-raw-alloc rule keeps it out).
+  // in the nn hot path; tools/analyze's no-heap-reachable check keeps it
+  // out).
   Tensor normalized_;  // (x − μ)/σ per row
   Tensor inv_std_;     // 1/σ per row
 };

@@ -76,6 +76,12 @@ class Arena {
   /// idiom: run one step in grow mode, reset, then pin the capacity.
   void ReserveExact() { ReserveExact(stats_.short_high_water); }
 
+  /// Leaves exact mode: the short region may grow on demand again. The
+  /// reserved chunk is kept. Used when a pinned training replica is
+  /// repurposed for work with a different footprint (e.g. the terminal
+  /// full-dataset evaluation, whose slices dwarf a training batch).
+  void Relax() { exact_ = false; }
+
   bool ExactMode() const { return exact_; }
   const ArenaStats& Stats() const { return stats_; }
 

@@ -53,6 +53,12 @@ class WorkerContext {
  private:
   common::Seconds SampleDelay();
 
+  /// Runs one worst-case batch through the replica and pins the compute
+  /// arena's short region at the observed high-water (Arena::ReserveExact).
+  /// Called once, lazily, before the first real batch; no-op when the
+  /// model does not use an arena.
+  void PinArenaCapacity(std::span<const float> params);
+
   std::size_t rank_;
   std::unique_ptr<nn::Network> net_;
   std::size_t dim_;
@@ -71,6 +77,7 @@ class WorkerContext {
   obs::TrackHandle track_;
   bool track_registered_ = false;
   bool record_spans_ = true;
+  bool arena_pinned_ = false;
 };
 
 /// Builds one context per rank; all replicas share config.model_seed so

@@ -63,6 +63,12 @@ nn::BatchResult EvalMonitor::EvalSubsample(std::span<const float> params) {
 nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
                                 const data::Dataset& dataset,
                                 std::size_t max_samples) {
+  // A training replica arrives here with its arena pinned to the training
+  // batch's high-water; eval slices are far larger, so let the short
+  // region grow again for this terminal pass.
+  if (net.ArenaEnabled() && net.ComputeArena().ExactMode()) {
+    net.ComputeArena().Relax();
+  }
   net.SetParamsFrom(params);
   // Evaluate in slices to bound per-batch memory for sequence datasets.
   nn::BatchResult total;

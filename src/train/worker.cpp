@@ -28,9 +28,43 @@ common::Seconds WorkerContext::SampleDelay() {
          delay_scale_;
 }
 
+void WorkerContext::PinArenaCapacity(std::span<const float> params) {
+  if (!net_->ArenaEnabled()) return;
+  // Worst-case warm-up batch: batch_size copies of the shard's longest
+  // sequence (the largest batch length-bucketed or uniform sampling can
+  // ever emit), or the fixed dense batch shape. One ForwardBackward grows
+  // the arena's short region to its true high-water mark, after which
+  // ReserveExact() pins it — steady-state steps then perform zero chunk
+  // allocations, and any regression throws instead of silently growing.
+  nn::Batch batch;
+  const std::size_t b = sampler_.BatchSize();
+  if (shard_.IsSequence()) {
+    const tensor::Tensor* longest = nullptr;
+    for (const auto& seq : shard_.sequences) {
+      if (longest == nullptr || seq.Rows() > longest->Rows()) longest = &seq;
+    }
+    if (longest == nullptr) return;
+    batch.sequences.assign(b, *longest);
+  } else {
+    if (shard_.inputs.Rows() == 0) return;
+    batch.inputs = tensor::Tensor({b, shard_.inputs.Cols()});
+    batch.inputs.Zero();
+  }
+  batch.labels.assign(b, 0);
+  net_->SetParamsFrom(params);
+  net_->ForwardBackward(batch);
+  net_->ComputeArena().ReserveExact();
+}
+
 nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
                                                std::span<float> grad_out) {
   RNA_CHECK(params.size() == dim_ && grad_out.size() == dim_);
+  if (!arena_pinned_) {
+    // Calibration/warm-up happens on the first batch of whichever protocol
+    // runs; the pin must not count toward compute stats or the trace.
+    PinArenaCapacity(params);
+    arena_pinned_ = true;
+  }
   if (record_spans_ && !track_registered_ && obs::ActiveTrace() != nullptr) {
     track_ = obs::RegisterTrack(obs::WorkerTrack(rank_, "compute"));
     track_registered_ = true;

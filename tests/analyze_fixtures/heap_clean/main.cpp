@@ -1,0 +1,38 @@
+// Must-pass fixture for no-heap-reachable: the hot path routes every
+// allocation through the sanctioned arena boundary (rna::tensor::Arena is
+// a HEAP_BOUNDARY pattern — allocation inside it is by-design, and the
+// traversal does not descend past it).
+//
+// expect-clean: no-heap-reachable
+
+namespace rna {
+namespace tensor {
+
+class Arena {
+ public:
+  float* Allocate(int n) { return new float[static_cast<unsigned>(n)]; }
+};
+
+}  // namespace tensor
+
+namespace nn {
+
+inline float Accumulate(const float* s, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += s[i];
+  return acc;
+}
+
+class FixtureNet {
+ public:
+  float ForwardBackward(int n) {
+    float* s = arena_.Allocate(n);
+    return Accumulate(s, n);
+  }
+
+ private:
+  tensor::Arena arena_;
+};
+
+}  // namespace nn
+}  // namespace rna

@@ -1,0 +1,37 @@
+// Must-fire fixture for no-heap-reachable: a helper two frames below a
+// hot-path entry allocates from the general heap. Mirrors the production
+// qualified names so the real config.py entry patterns apply unchanged.
+//
+// expect-fire: no-heap-reachable
+
+namespace rna {
+namespace nn {
+
+class Buf {
+ public:
+  void push_back(float v) { last_ = v; }
+
+ private:
+  float last_ = 0.0f;
+};
+
+inline float* Scratch(int n) {
+  Buf buf;
+  buf.push_back(1.0f);
+  return new float[static_cast<unsigned>(n)];
+}
+
+inline float StepKernel(int n) {
+  float* s = Scratch(n);
+  float acc = s[0];
+  delete[] s;
+  return acc;
+}
+
+class FixtureNet {
+ public:
+  float ForwardBackward(int n) { return StepKernel(n); }
+};
+
+}  // namespace nn
+}  // namespace rna

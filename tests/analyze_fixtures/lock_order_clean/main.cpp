@@ -1,0 +1,57 @@
+// Must-pass fixture for lock-order: every nesting follows one global
+// order (a before b), and the index-ordered array nesting carries the
+// analyze:allow(lock-order) justification.
+//
+// expect-clean: lock-order
+
+namespace rna {
+namespace common {
+
+class Mutex {
+ public:
+  int v = 0;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(&m) {}
+
+ private:
+  Mutex* m_;
+};
+
+}  // namespace common
+
+namespace fix {
+
+class Pair {
+ public:
+  void Forward() {
+    common::MutexLock a(a_mu_);
+    common::MutexLock b(b_mu_);
+  }
+  void ReadBoth() {
+    common::MutexLock a(a_mu_);
+    common::MutexLock b(b_mu_);
+  }
+
+ private:
+  common::Mutex a_mu_;
+  common::Mutex b_mu_;
+};
+
+class Shards {
+ public:
+  void Swap(int i, int j) {
+    const int lo = i < j ? i : j;
+    const int hi = i < j ? j : i;
+    common::MutexLock li(mu_[lo]);
+    common::MutexLock lj(mu_[hi]);  // analyze:allow(lock-order) by index
+  }
+
+ private:
+  common::Mutex mu_[4];
+};
+
+}  // namespace fix
+}  // namespace rna

@@ -1,0 +1,56 @@
+// Must-fire fixture for lock-order: two methods of the same class acquire
+// the same pair of member mutexes in opposite orders (an AB/BA deadlock),
+// and a second class nests two instances of one lock array without an
+// ordering justification.
+//
+// expect-fire: lock-order
+
+namespace rna {
+namespace common {
+
+class Mutex {
+ public:
+  int v = 0;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(&m) {}
+
+ private:
+  Mutex* m_;
+};
+
+}  // namespace common
+
+namespace fix {
+
+class Pair {
+ public:
+  void Forward() {
+    common::MutexLock a(a_mu_);
+    common::MutexLock b(b_mu_);
+  }
+  void Backward() {
+    common::MutexLock b(b_mu_);
+    common::MutexLock a(a_mu_);
+  }
+
+ private:
+  common::Mutex a_mu_;
+  common::Mutex b_mu_;
+};
+
+class Shards {
+ public:
+  void Swap(int i, int j) {
+    common::MutexLock li(mu_[i]);
+    common::MutexLock lj(mu_[j]);
+  }
+
+ private:
+  common::Mutex mu_[4];
+};
+
+}  // namespace fix
+}  // namespace rna

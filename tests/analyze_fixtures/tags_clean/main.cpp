@@ -1,0 +1,38 @@
+// Must-pass fixture for tag-discipline: every tag expression references a
+// named tag or family function, and receives plumb a caller-provided base.
+//
+// expect-clean: tag-discipline
+#include "tags.hpp"
+
+namespace rna {
+namespace net {
+
+struct Message {
+  int tag = 0;
+};
+
+class Fabric {
+ public:
+  int RecvFor(int src, int tag, double timeout) {
+    return timeout > 0.0 ? src + tag : -1;
+  }
+};
+
+}  // namespace net
+
+namespace baselines {
+
+inline net::Message MakeGo(std::size_t round) {
+  net::Message msg;
+  msg.tag = train::tags::RingTag(round);
+  return msg;
+}
+
+inline int DrainControl(net::Fabric& fabric, int tag_base) {
+  int got = fabric.RecvFor(0, train::tags::kGo, 0.05);
+  got += fabric.RecvFor(0, tag_base + 1, 0.05);
+  return got;
+}
+
+}  // namespace baselines
+}  // namespace rna

@@ -1,0 +1,25 @@
+// Must-fire fixture for tag-discipline: besides the header collisions, a
+// protocol function stamps a raw numeric tag no family accounts for.
+//
+// expect-fire: tag-discipline
+#include "tags.hpp"
+
+namespace rna {
+namespace net {
+
+struct Message {
+  int tag = 0;
+};
+
+}  // namespace net
+
+namespace baselines {
+
+inline net::Message MakeProbe() {
+  net::Message msg;
+  msg.tag = 12345;  // unaccounted ad-hoc tag
+  return msg;
+}
+
+}  // namespace baselines
+}  // namespace rna

@@ -1,0 +1,22 @@
+// Must-fire tag header: two control tags collide, and the ring stride is
+// far too narrow to keep a realistic world's ring tags round-unique.
+#include <cstddef>
+
+namespace rna::train::tags {
+
+inline constexpr int kReady = 100;
+inline constexpr int kGo = 100;  // collides with kReady
+
+inline constexpr int kGroupCastBase = 1 << 21;
+inline constexpr int kRingBase = 1 << 22;
+inline constexpr int kRingStride = 8;  // supports world <= 4
+
+inline constexpr int GroupCastTag(std::size_t round) {
+  return kGroupCastBase + static_cast<int>(round);
+}
+
+inline constexpr int RingTag(std::size_t round) {
+  return kRingBase + static_cast<int>(round) * kRingStride;
+}
+
+}  // namespace rna::train::tags

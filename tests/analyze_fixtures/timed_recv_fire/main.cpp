@@ -1,0 +1,28 @@
+// Must-fire fixture for timed-recv: a protocol entry point reaches an
+// untimed Mailbox::Get through a wrapper in between — exactly the shape
+// the retired untimed-recv regex could not see (the receive is not on any
+// line of the entry function).
+//
+// expect-fire: timed-recv
+
+namespace rna {
+namespace net {
+
+class Mailbox {
+ public:
+  int Get(int tag) { return tag; }
+  int GetFor(int tag, double timeout) {
+    return timeout > 0.0 ? tag : -1;
+  }
+};
+
+}  // namespace net
+
+namespace baselines {
+
+inline int DrainOne(net::Mailbox& box) { return box.Get(3); }
+
+inline int RunFixture(net::Mailbox& box) { return DrainOne(box); }
+
+}  // namespace baselines
+}  // namespace rna

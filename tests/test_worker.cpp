@@ -185,6 +185,70 @@ TEST(EvaluateDataset, CapsSampleCount) {
   EXPECT_EQ(full.total, 100u);
 }
 
+TEST(WorkerContext, ArenaPinnedAfterWarmupWithZeroChunkGrowth) {
+  // Variable-length sequences are the hard case: the warm-up pin must
+  // cover the worst batch the sampler can emit, so later (shorter) batches
+  // never grow the arena — and the worst batch itself fits exactly.
+  data::LengthModel lengths{.mean = 12, .stddev = 6, .min_len = 4,
+                            .max_len = 24};
+  data::Dataset ds = data::MakeSequenceDataset(48, 3, 2, lengths, 0.1, 9);
+  TrainerConfig config = SmallConfig(1);
+  config.batch_size = 4;
+  ModelFactory lstm = [](std::uint64_t seed) {
+    return std::make_unique<nn::LstmClassifier>(3, 4, 2, seed, 0.0);
+  };
+  WorkerContext worker(0, config, lstm, ds);
+  std::vector<float> params = InitialParams(config, lstm);
+  std::vector<float> grad(worker.Dim());
+
+  worker.ComputeGradient(params, grad);
+  const tensor::Arena& arena = worker.Net().ComputeArena();
+  EXPECT_TRUE(arena.ExactMode());
+  const std::size_t chunks_after_warmup = arena.Stats().chunk_allocs;
+
+  for (int i = 0; i < 8; ++i) worker.ComputeGradient(params, grad);
+  EXPECT_EQ(arena.Stats().chunk_allocs, chunks_after_warmup);
+  EXPECT_TRUE(arena.ExactMode());
+}
+
+TEST(WorkerContext, ArenaPinSkippedWhenArenaDisabled) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 10);
+  const TrainerConfig config = SmallConfig(1);
+  ModelFactory no_arena = [](std::uint64_t seed) {
+    auto net = std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{4, 8, 2}, seed);
+    net->EnableArena(false);
+    return net;
+  };
+  WorkerContext worker(0, config, no_arena, ds);
+  std::vector<float> params = InitialParams(config, no_arena);
+  std::vector<float> grad(worker.Dim());
+  worker.ComputeGradient(params, grad);
+  EXPECT_FALSE(worker.Net().ComputeArena().ExactMode());
+}
+
+TEST(EvaluateDataset, RelaxesPinnedTrainingReplica) {
+  // The terminal evaluation reuses a worker's pinned replica with far
+  // larger batches; EvaluateDataset must leave exact mode first instead
+  // of tripping the capacity contract.
+  data::LengthModel lengths{.mean = 12, .stddev = 6, .min_len = 4,
+                            .max_len = 24};
+  data::Dataset ds = data::MakeSequenceDataset(64, 3, 2, lengths, 0.1, 11);
+  TrainerConfig config = SmallConfig(1);
+  config.batch_size = 4;
+  ModelFactory lstm = [](std::uint64_t seed) {
+    return std::make_unique<nn::LstmClassifier>(3, 4, 2, seed, 0.0);
+  };
+  WorkerContext worker(0, config, lstm, ds);
+  std::vector<float> params = InitialParams(config, lstm);
+  std::vector<float> grad(worker.Dim());
+  worker.ComputeGradient(params, grad);
+  ASSERT_TRUE(worker.Net().ComputeArena().ExactMode());
+  const nn::BatchResult r = EvaluateDataset(worker.Net(), params, ds);
+  EXPECT_EQ(r.total, 64u);
+  EXPECT_FALSE(worker.Net().ComputeArena().ExactMode());
+}
+
 TEST(Config, ProtocolNamesAreStable) {
   EXPECT_STREQ(ProtocolName(Protocol::kHorovod), "horovod");
   EXPECT_STREQ(ProtocolName(Protocol::kRna), "rna");

@@ -1,0 +1,21 @@
+"""AST-grounded invariant analyzer for the RNA tree.
+
+Whole-program checks the regex lint (tools/lint.py) cannot express:
+
+  no-heap-reachable  no heap allocation is reachable from the compute /
+                     collective hot paths unless routed through
+                     tensor::Arena or net::BufferPool
+  timed-recv         no path from a protocol entry point to an untimed
+                     blocking receive, even through wrappers
+  lock-order         the MutexLock acquisition-order graph is acyclic
+                     (static deadlock detection)
+  tag-discipline     Send/RecvFor tag expressions stay inside their
+                     family's range; ranges are pairwise disjoint and
+                     round-unique (evaluated from the real tags.hpp)
+
+Two interchangeable frontends produce the same IR (ir.py): the libclang
+cindex frontend (cindex_frontend.py) when python3-clang + libclang are
+installed, and a hermetic token/scope C++ frontend (textual_frontend.py)
+that needs nothing beyond the standard library. `--frontend auto` prefers
+cindex and falls back. See DESIGN.md "Static analysis".
+"""

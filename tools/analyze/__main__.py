@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/analyze ...` or `python3 -m analyze ...`.
+
+When invoked as a directory (`python3 tools/analyze`), there is no
+package context, so bootstrap one before touching the relative imports.
+"""
+
+import sys
+
+if __package__ in (None, ""):
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from analyze.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

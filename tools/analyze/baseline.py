@@ -1,0 +1,50 @@
+"""Suppression baseline: a committed list of finding keys to tolerate.
+
+The policy (DESIGN.md) is that the baseline stays empty — real findings
+get fixed, deliberate exceptions get an `analyze:allow(<check>)` comment
+at the site where the justification belongs. The baseline exists for the
+bootstrap window when a new check lands with pre-existing violations:
+`--update-baseline` snapshots them so the gate can turn on immediately
+while the fixes land as their own commits.
+
+Format: one finding key per line; `#` comments and blank lines ignored.
+Keys are location-stable (file + qualified function + site detail, no
+line numbers) so unrelated edits don't invalidate them.
+"""
+
+from pathlib import Path
+
+
+def load(path):
+    p = Path(path)
+    if not p.is_file():
+        return set()
+    keys = set()
+    for raw in p.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        keys.add(line)
+    return keys
+
+
+def apply(findings, baseline_keys):
+    """-> (active, suppressed, stale_keys)."""
+    active, suppressed = [], []
+    hit = set()
+    for f in findings:
+        if f.key in baseline_keys:
+            suppressed.append(f)
+            hit.add(f.key)
+        else:
+            active.append(f)
+    stale = sorted(baseline_keys - hit)
+    return active, suppressed, stale
+
+
+def write(path, findings, header=None):
+    lines = []
+    if header:
+        lines.extend(f"# {h}" for h in header)
+    lines.extend(sorted({f.key for f in findings}))
+    Path(path).write_text("\n".join(lines) + "\n" if lines else "")

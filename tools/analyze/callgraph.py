@@ -1,0 +1,116 @@
+"""Call graph construction and reachability over the analyzer IR.
+
+Resolution is name-based and deliberately over-approximate (soundness over
+precision — a missed edge hides a bug, a spurious edge costs an allow
+comment): a call links to every definition whose qualified name matches the
+written chain as a suffix. One precision refinement: an unqualified,
+receiver-less call from a method prefers same-class definitions, so
+`Run(batch)` inside `LstmClassifier::ForwardBackward` resolves to
+`LstmClassifier::Run` rather than every `Run` in the program.
+"""
+
+
+def _chain_matches(fn, chain):
+    """Does `fn.qname` end with the written chain (ignoring namespace
+    aliases like `collectives::` for `rna::collectives::`)?"""
+    parts = fn.qname.split("::")
+    chain = [c for c in chain if c]  # drop empty segments
+    if len(chain) > len(parts):
+        return False
+    return parts[-len(chain):] == list(chain)
+
+
+class CallGraph:
+    def __init__(self, program):
+        self.program = program
+        self.by_name = program.by_name()
+        self._edges = {}  # id(fn) -> [(callee FunctionDef, CallSite)]
+
+    def callees(self, fn):
+        cached = self._edges.get(id(fn))
+        if cached is not None:
+            return cached
+        out = []
+        for call in fn.calls:
+            for callee in self.resolve(fn, call):
+                out.append((callee, call))
+        self._edges[id(fn)] = out
+        return out
+
+    def resolve(self, caller, call):
+        candidates = self.by_name.get(call.name, [])
+        if not candidates:
+            return []
+        matches = [c for c in candidates if _chain_matches(c, call.chain)]
+        if not matches:
+            return []
+        if len(call.chain) == 1 and not call.is_member and caller.cls:
+            same_class = [m for m in matches if m.cls == caller.cls]
+            if same_class:
+                return same_class
+        return matches
+
+    def reachable(self, entries, stop=None):
+        """BFS from entry FunctionDefs; `stop(fn)` prunes traversal *into*
+        a function (it is still reported as reachable)."""
+        seen = {}
+        work = list(entries)
+        for fn in work:
+            seen[id(fn)] = fn
+        while work:
+            fn = work.pop()
+            if stop is not None and stop(fn):
+                continue
+            for callee, _site in self.callees(fn):
+                if id(callee) not in seen:
+                    seen[id(callee)] = callee
+                    work.append(callee)
+        return list(seen.values())
+
+    def find_path(self, entries, target, stop=None):
+        """One call path entry→…→target as [(FunctionDef, line)] for
+        diagnostics; None if unreachable."""
+        parent = {}
+        work = list(entries)
+        seen = {id(fn) for fn in work}
+        while work:
+            fn = work.pop(0)
+            if fn is target:
+                path = []
+                cur = fn
+                while cur is not None:
+                    prev = parent.get(id(cur))
+                    path.append((cur, prev[1].line if prev else cur.line))
+                    cur = prev[0] if prev else None
+                path.reverse()
+                return path
+            if stop is not None and stop(fn) and fn not in entries:
+                continue
+            for callee, site in self.callees(fn):
+                if id(callee) not in seen:
+                    seen.add(id(callee))
+                    parent[id(callee)] = (fn, site)
+                    work.append(callee)
+        return None
+
+
+def transitive_lock_acquisitions(graph, max_depth=6):
+    """For every function: set of lock ids it may acquire, directly or via
+    callees (bounded depth to keep over-approximation from exploding
+    through name collisions)."""
+    program = graph.program
+    direct = {id(fn): {a.lock_id for a in fn.locks}
+              for fn in program.functions.values()}
+    result = {k: set(v) for k, v in direct.items()}
+    for _ in range(max_depth):
+        changed = False
+        for fn in program.functions.values():
+            acc = result[id(fn)]
+            before = len(acc)
+            for callee, _site in graph.callees(fn):
+                acc |= result.get(id(callee), set())
+            if len(acc) != before:
+                changed = True
+        if not changed:
+            break
+    return result

@@ -1,0 +1,10 @@
+"""Check modules: each exposes run(program, graph, root) -> [Finding]."""
+
+from . import heap, lock_order, tags, timed_recv
+
+CHECKS = {
+    "no-heap-reachable": heap.run,
+    "timed-recv": timed_recv.run,
+    "lock-order": lock_order.run,
+    "tag-discipline": tags.run,
+}

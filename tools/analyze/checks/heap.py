@@ -1,0 +1,46 @@
+"""no-heap-reachable: the compute/collective hot paths must not allocate.
+
+Computes the call graph closure from nn::Network::ForwardBackward /
+Evaluate and the collective hot paths, and flags every heap-allocation
+site (operator new, malloc, allocating container calls, sized container
+construction, make_unique/make_shared) in any reachable function that is
+not a sanctioned allocation router (tensor::Arena, net::BufferPool, the
+Tensor storage layer that routes through them). This is the whole-program
+form of the retired `nn-raw-alloc` regex rule: a helper hiding a
+`new float[]` three frames below ForwardBackward is flagged exactly like
+a direct allocation.
+"""
+
+from .. import config
+from ..ir import Finding
+
+
+def _is_boundary(fn):
+    return config.matches_any(fn.qname, config.HEAP_BOUNDARY_PATTERNS)
+
+
+def run(program, graph, root=None):
+    entries = [fn for fn in program.functions.values()
+               if config.matches_any(fn.qname, config.HEAP_ENTRY_PATTERNS)]
+    findings = []
+    if not entries:
+        return findings
+    reachable = graph.reachable(entries, stop=_is_boundary)
+    for fn in reachable:
+        if _is_boundary(fn):
+            continue
+        for site in fn.allocs:
+            path = graph.find_path(entries, fn, stop=_is_boundary)
+            via = " -> ".join(p.name for p, _ in path) if path else fn.name
+            findings.append(Finding(
+                check="no-heap-reachable",
+                file=fn.file, line=site.line,
+                message=(
+                    f"heap allocation `{site.detail}` in {fn.qname} is "
+                    f"reachable from a hot-path entry ({via}); route it "
+                    "through tensor::Arena or net::BufferPool, hoist it "
+                    "out of the steady state, or justify with "
+                    "analyze:allow(no-heap-reachable)"),
+                key=f"no-heap-reachable|{fn.file}|{fn.qname}|{site.detail}",
+            ))
+    return findings

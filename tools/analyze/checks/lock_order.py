@@ -1,0 +1,115 @@
+"""lock-order: the MutexLock acquisition-order graph must be acyclic.
+
+Builds a directed graph over lock identities: an edge A -> B means some
+thread may acquire B while holding A — either directly (nested MutexLock
+scopes in one function) or interprocedurally (a function called with A
+held transitively acquires B). A cycle in that graph is a potential
+deadlock; this is the static complement to the runtime coverage TSan and
+the chaos suite give, built on the same annotated Mutex/MutexLock
+vocabulary PR 2 introduced.
+
+Lock identities unify member mutexes per class (`Mailbox::mu_`) and local
+mutexes per owning function; array-indexed locks collapse their index
+(`model_mu[]`), so a self-edge on such an identity means "two instances of
+the same lock family can nest" — a real deadlock unless every nesting
+orders the instances, which must be justified with
+analyze:allow(lock-order) at the acquisition site.
+"""
+
+from ..callgraph import transitive_lock_acquisitions
+from ..ir import Finding
+
+
+def _edges(program, graph):
+    """(outer, inner) -> (file, line) witness."""
+    edges = {}
+    trans = transitive_lock_acquisitions(graph)
+    for fn in program.functions.values():
+        # Direct nesting: the acquisition records what was already held
+        # (self-edges included — same lock family nested is a finding).
+        for acq in fn.locks:
+            for held in acq.held_locks:
+                edges.setdefault((held, acq.lock_id), (fn.file, acq.line))
+        # Interprocedural: calls made with locks held reach functions that
+        # acquire more locks.
+        for callee, site in graph.callees(fn):
+            if not site.held_locks:
+                continue
+            for inner in trans.get(id(callee), ()):
+                for held in site.held_locks:
+                    if held != inner:
+                        edges.setdefault((held, inner),
+                                         (fn.file, site.line))
+    return edges
+
+
+def _cycles(edges):
+    """Tarjan SCCs over the lock graph; returns non-trivial SCCs plus
+    self-loops as lists of lock ids."""
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+    index, low, on_stack = {}, {}, set()
+    stack, sccs, counter = [], [], [0]
+
+    def strongconnect(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in adj.get(v, ()):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            sccs.append(comp)
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        for v in adj:
+            if v not in index:
+                strongconnect(v)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    bad = [c for c in sccs if len(c) > 1]
+    bad += [[a] for (a, b) in edges if a == b]
+    return bad
+
+
+def run(program, graph, root=None):
+    edges = _edges(program, graph)
+    findings = []
+    for cycle in _cycles(edges):
+        cycle = sorted(cycle)
+        if len(cycle) == 1:
+            witness = edges.get((cycle[0], cycle[0]))
+            desc = (f"lock {cycle[0]} can be acquired while an instance of "
+                    "it is already held (self-nesting lock family)")
+        else:
+            witness = None
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                witness = edges.get((a, b)) or witness
+            desc = ("lock acquisition cycle: " + " -> ".join(cycle) +
+                    f" -> {cycle[0]}")
+        file, line = witness if witness else ("<unknown>", 0)
+        findings.append(Finding(
+            check="lock-order", file=file, line=line,
+            message=(desc + "; a consistent global order (or an "
+                     "analyze:allow(lock-order) with the ordering "
+                     "argument) is required"),
+            key="lock-order|" + "|".join(cycle),
+        ))
+    return findings

@@ -1,0 +1,289 @@
+"""libclang (`clang.cindex`) frontend producing the analyzer IR.
+
+Preferred when available: real AST, real name resolution, no heuristic
+brace classification. Produces exactly the IR the textual frontend does
+(ir.py) so the checks are frontend-agnostic. Every entry point is
+defensive — any libclang hiccup surfaces as an exception that frontend.py
+turns into a textual-frontend fallback under `--frontend auto`.
+"""
+
+import json
+from pathlib import Path
+
+from .ir import AllocSite, CallSite, FunctionDef, LockAcq, ProgramIR, TagSite
+from .textual_frontend import (
+    _ALLOC_C, _ALLOC_MEMBERS, _ALLOC_SMART, _RECV_TAG_ARG,
+    _UNTIMED_RECV_NAMES, _allow_lines,
+)
+
+_INDEX = None
+
+
+def _load_cindex():
+    import clang.cindex as ci
+    global _INDEX
+    if _INDEX is None:
+        try:
+            _INDEX = ci.Index.create()
+        except Exception:
+            # Try common sonames before giving up; Config must be set
+            # before the first Index.create() attempt wins.
+            for name in ("libclang.so", "libclang-14.so.1",
+                         "libclang.so.1", "libclang-cpp.so"):
+                try:
+                    ci.Config.loaded = False
+                    ci.Config.set_library_file(name)
+                    _INDEX = ci.Index.create()
+                    break
+                except Exception:
+                    continue
+    if _INDEX is None:
+        raise RuntimeError("no usable libclang library")
+    return ci
+
+
+def available():
+    try:
+        _load_cindex()
+        return True
+    except Exception:
+        return False
+
+
+def _qualified_name(cursor):
+    parts = []
+    c = cursor
+    while c is not None and c.kind is not None:
+        if c.kind.name == "TRANSLATION_UNIT":
+            break
+        sp = c.spelling
+        if sp:
+            parts.append(sp)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _enclosing_class(cursor):
+    c = cursor.semantic_parent
+    class_kinds = {"CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"}
+    if c is not None and c.kind.name in class_kinds:
+        return _qualified_name(c)
+    return ""
+
+
+def _arg_text(arg):
+    try:
+        toks = [t.spelling for t in arg.get_tokens()]
+        return " ".join(toks)
+    except Exception:
+        return ""
+
+
+class _FunctionWalker:
+    """Walks one function body, threading the held-lock set through
+    compound statements the way MutexLock RAII scopes behave."""
+
+    def __init__(self, fn, allow, rel):
+        self.fn = fn
+        self.allow = allow
+        self.rel = rel
+
+    def _allows(self, line):
+        return self.allow.get(line, frozenset())
+
+    def walk(self, cursor, held):
+        if cursor.kind.name == "COMPOUND_STMT":
+            local = list(held)
+            for child in cursor.get_children():
+                new_lock = self._lock_decl(child, local)
+                if new_lock is None:
+                    self.walk(child, local)
+                else:
+                    local.append(new_lock)
+            return
+        self._visit(cursor, held)
+        for child in cursor.get_children():
+            self.walk(child, held)
+
+    def _lock_decl(self, stmt, held):
+        """DECL_STMT declaring a MutexLock → lock id, recording the
+        acquisition; None otherwise."""
+        if stmt.kind.name != "DECL_STMT":
+            return None
+        for decl in stmt.get_children():
+            if decl.kind.name != "VAR_DECL":
+                continue
+            tname = decl.type.spelling if decl.type is not None else ""
+            if "MutexLock" not in tname:
+                continue
+            expr = self._init_lock_expr(decl)
+            lock_id = self._lock_identity(expr)
+            line = decl.location.line
+            if "lock-order" not in self._allows(line):
+                self.fn.locks.append(LockAcq(
+                    lock_id=lock_id, expr=expr, line=line,
+                    held_locks=tuple(held)))
+            return lock_id
+        return None
+
+    def _init_lock_expr(self, decl):
+        """The mutex expression inside `MutexLock name(EXPR)` — the first
+        reference-like node of the initializer that is not the declared
+        variable itself."""
+        for node in decl.walk_preorder():
+            k = node.kind.name
+            if k == "ARRAY_SUBSCRIPT_EXPR":
+                return _arg_text(node)
+            if k in ("MEMBER_REF_EXPR", "DECL_REF_EXPR"):
+                if node.spelling and node.spelling != decl.spelling \
+                        and "MutexLock" not in (node.type.spelling or ""):
+                    return _arg_text(node)
+        return decl.spelling
+
+    def _lock_identity(self, expr):
+        norm = "".join(expr.split())
+        for junk in ("common::", "rna::", "this->", "(", ")"):
+            norm = norm.replace(junk, "")
+        while "[" in norm:
+            a = norm.index("[")
+            b = norm.find("]", a)
+            if b < 0:
+                break
+            norm = norm[:a] + "[]" + norm[b + 1:]
+        if self.fn.cls and norm.endswith(("_", "_[]")):
+            return f"{self.fn.cls}::{norm}"
+        return f"{self.fn.qname}::{norm}"
+
+    def _visit(self, cursor, held):
+        kind = cursor.kind.name
+        line = cursor.location.line
+        if kind == "CXX_NEW_EXPR":
+            if "no-heap-reachable" not in self._allows(line):
+                self.fn.allocs.append(AllocSite(
+                    kind="new", detail="new " + (cursor.type.spelling or ""),
+                    line=line))
+            return
+        if kind not in ("CALL_EXPR", "MEMBER_REF_EXPR", "BINARY_OPERATOR"):
+            return
+        if kind == "BINARY_OPERATOR":
+            self._tag_assign(cursor)
+            return
+        if kind != "CALL_EXPR":
+            return
+        name = cursor.spelling or ""
+        if not name:
+            return
+        ref = cursor.referenced
+        chain = (name,)
+        is_member = False
+        if ref is not None:
+            is_member = ref.kind.name == "CXX_METHOD"
+            q = _qualified_name(ref)
+            if q:
+                chain = tuple(q.split("::"))
+        if "no-heap-reachable" not in self._allows(line):
+            if is_member and name in _ALLOC_MEMBERS:
+                owner = ref.semantic_parent.spelling if ref else ""
+                if owner not in ("Arena", "BufferPool"):
+                    self.fn.allocs.append(AllocSite(
+                        kind="container", detail=f".{name}(", line=line))
+            elif name in _ALLOC_SMART:
+                self.fn.allocs.append(AllocSite(
+                    kind="smart", detail=f"{name}<...>", line=line))
+            elif name in _ALLOC_C:
+                self.fn.allocs.append(AllocSite(
+                    kind="malloc", detail=f"{name}(", line=line))
+        if not (name in _UNTIMED_RECV_NAMES
+                and "timed-recv" in self._allows(line)):
+            self.fn.calls.append(CallSite(
+                name=name, chain=chain, is_member=is_member, receiver="",
+                line=line, held_locks=tuple(held)))
+        if name in _RECV_TAG_ARG and is_member:
+            args = list(cursor.get_arguments())
+            idx = _RECV_TAG_ARG[name]
+            if len(args) > idx and "tag-discipline" not in \
+                    self._allows(line):
+                self.fn.tags.append(TagSite(
+                    role="recv", expr=_arg_text(args[idx]), line=line))
+
+    def _tag_assign(self, cursor):
+        toks = [t.spelling for t in cursor.get_tokens()]
+        if "=" not in toks:
+            return
+        eq = toks.index("=")
+        lhs = toks[:eq]
+        if len(lhs) >= 2 and lhs[-1] == "tag" and lhs[-2] in (".", "->"):
+            line = cursor.location.line
+            if "tag-discipline" not in self._allows(line):
+                self.fn.tags.append(TagSite(
+                    role="send", expr=" ".join(toks[eq + 1:]), line=line))
+
+
+_FUNC_KINDS = {
+    "FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+    "FUNCTION_TEMPLATE",
+}
+
+
+def _compile_args(compile_db, root):
+    args_by_file = {}
+    if not compile_db:
+        return args_by_file
+    try:
+        entries = json.loads(Path(compile_db).read_text())
+    except Exception:
+        return args_by_file
+    for entry in entries:
+        f = Path(entry.get("directory", "."), entry["file"]).resolve()
+        raw = entry.get("arguments") or entry.get("command", "").split()
+        args = [a for a in raw[1:]
+                if a not in ("-c", "-o") and not a.endswith((".o", ".cpp"))]
+        args_by_file[str(f)] = args
+    return args_by_file
+
+
+def build_ir(root, files, compile_db=None):
+    ci = _load_cindex()
+    root = Path(root).resolve()
+    program = ProgramIR(frontend="cindex")
+    args_by_file = _compile_args(compile_db, root)
+    default_args = ["-std=c++17", "-I" + str(root)]
+    seen_functions = set()
+    for rel in files:
+        path = root / rel
+        args = args_by_file.get(str(path), default_args)
+        tu = _INDEX.parse(
+            str(path), args=args,
+            options=ci.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+        allow_cache = {}
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind.name not in _FUNC_KINDS:
+                continue
+            if not cursor.is_definition():
+                continue
+            loc = cursor.location
+            if loc.file is None:
+                continue
+            fpath = Path(loc.file.name).resolve()
+            try:
+                frel = fpath.relative_to(root).as_posix()
+            except ValueError:
+                continue
+            ident = (frel, loc.line, cursor.spelling)
+            if ident in seen_functions:
+                continue  # same header parsed from several TUs
+            seen_functions.add(ident)
+            if frel not in allow_cache:
+                allow_cache[frel] = _allow_lines(
+                    fpath.read_text(errors="replace"))
+            fn = FunctionDef(
+                qname=_qualified_name(cursor), name=cursor.spelling,
+                cls=_enclosing_class(cursor), file=frel, line=loc.line)
+            body = [c for c in cursor.get_children()
+                    if c.kind.name == "COMPOUND_STMT"]
+            walker = _FunctionWalker(fn, allow_cache[frel], frel)
+            for b in body:
+                walker.walk(b, [])
+            program.add(fn)
+        program.files.append(rel)
+    return program

@@ -1,0 +1,101 @@
+"""Source collection and frontend selection.
+
+The analyzer prefers the libclang (`clang.cindex`) frontend when the
+python bindings are importable and a library can be loaded; otherwise it
+falls back to the hermetic textual frontend. Both produce the same IR
+(ir.py), so the checks never know which one ran. `--frontend textual` is
+the deterministic choice for CI gates; `--frontend cindex` hard-fails
+when libclang is unavailable instead of silently downgrading.
+"""
+
+import json
+from pathlib import Path
+
+from . import textual_frontend
+
+_SOURCE_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+
+
+def collect_sources(root, compile_db=None, subdirs=("src",)):
+    """Returns sorted repo-relative paths of the files to analyze.
+
+    With a compile_commands.json the TU list comes from the build system
+    (so generated/excluded files follow the build's view of the project);
+    headers under the scanned subdirs are always included because the
+    whole-program checks need inline/template definitions that only live
+    in headers. Without a DB (fixture roots), every source file under
+    root is scanned.
+    """
+    root = Path(root).resolve()
+    files = set()
+    if compile_db:
+        db_path = Path(compile_db)
+        entries = json.loads(db_path.read_text())
+        for entry in entries:
+            f = Path(entry.get("directory", "."), entry["file"]).resolve()
+            try:
+                rel = f.relative_to(root)
+            except ValueError:
+                continue
+            rel_posix = rel.as_posix()
+            if subdirs and not rel_posix.startswith(
+                    tuple(s.rstrip("/") + "/" for s in subdirs)):
+                continue
+            if f.is_file():
+                files.add(rel_posix)
+        scan_roots = [root / s for s in subdirs] if subdirs else [root]
+        for base in scan_roots:
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*"):
+                if p.suffix in (".hpp", ".h", ".hh") and p.is_file():
+                    files.add(p.relative_to(root).as_posix())
+    else:
+        scan_roots = [root / s for s in subdirs] if subdirs else [root]
+        found_any = any(base.is_dir() for base in scan_roots)
+        if not found_any:
+            scan_roots = [root]
+        for base in scan_roots:
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*"):
+                if p.suffix in _SOURCE_SUFFIXES and p.is_file():
+                    files.add(p.relative_to(root).as_posix())
+    return sorted(files)
+
+
+def cindex_available():
+    try:
+        from . import cindex_frontend
+        return cindex_frontend.available()
+    except Exception:
+        return False
+
+
+def build_program(root, files, frontend="auto", compile_db=None):
+    """-> (ProgramIR, frontend_used). `files` are repo-relative paths."""
+    root = Path(root).resolve()
+    if frontend not in ("auto", "textual", "cindex"):
+        raise ValueError(f"unknown frontend {frontend!r}")
+    if frontend in ("auto", "cindex"):
+        try:
+            from . import cindex_frontend
+            if cindex_frontend.available():
+                program = cindex_frontend.build_ir(
+                    root, files, compile_db=compile_db)
+                return program, "cindex"
+            if frontend == "cindex":
+                raise RuntimeError(
+                    "libclang frontend requested but clang.cindex is not "
+                    "usable (install python3-clang + libclang, or use "
+                    "--frontend textual)")
+        except RuntimeError:
+            raise
+        except Exception as exc:
+            if frontend == "cindex":
+                raise RuntimeError(f"libclang frontend failed: {exc}")
+    sources = []
+    for rel in files:
+        p = root / rel
+        sources.append((rel, p.read_text(errors="replace")))
+    return textual_frontend.build_ir(sources), "textual"

@@ -1,0 +1,91 @@
+"""The analyzer's IR: what both frontends must produce.
+
+Everything downstream (callgraph.py, checks/) consumes only these types, so
+the cindex and textual frontends are interchangeable. Sites carry their
+source location plus the raw line text so `analyze:allow(<check>)`
+suppressions can be honoured uniformly.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CallSite:
+    name: str            # last path component, e.g. "RecvFor"
+    chain: tuple         # qualified chain as written, e.g. ("tags", "RingTag")
+    is_member: bool      # preceded by `.` / `->` (receiver call)
+    receiver: str        # best-effort receiver text ("" when unknown)
+    line: int
+    held_locks: tuple    # lock ids held at the call site (textual frontend)
+
+
+@dataclass
+class AllocSite:
+    kind: str            # "new" | "malloc" | "container" | "smart"
+    detail: str          # e.g. "new float[]", ".resize(", "std::vector<...>("
+    line: int
+
+
+@dataclass
+class LockAcq:
+    lock_id: str         # normalized lock identity (see textual_frontend)
+    expr: str            # lock expression as written
+    line: int
+    held_locks: tuple    # lock ids already held when this one is acquired
+
+
+@dataclass
+class TagSite:
+    role: str            # "send" (msg.tag = ...) | "recv" (tag argument)
+    expr: str            # tag expression as written (normalized whitespace)
+    line: int
+
+
+@dataclass
+class FunctionDef:
+    qname: str           # fully qualified, e.g. "rna::net::Mailbox::Get"
+    name: str            # last component
+    cls: str             # enclosing class qualified name ("" for free fns)
+    file: str            # repo-relative posix path
+    line: int
+    calls: list = field(default_factory=list)      # [CallSite]
+    allocs: list = field(default_factory=list)     # [AllocSite]
+    locks: list = field(default_factory=list)      # [LockAcq]
+    tags: list = field(default_factory=list)       # [TagSite]
+
+
+@dataclass
+class ProgramIR:
+    functions: dict = field(default_factory=dict)  # qname#n -> FunctionDef
+    files: list = field(default_factory=list)      # repo-relative paths seen
+    frontend: str = ""                             # "textual" | "cindex"
+
+    def add(self, fn):
+        # Overloads / template specialisations share a qname; keep each
+        # definition under a unique key, the checks iterate over values.
+        key = fn.qname
+        n = 0
+        while key in self.functions:
+            n += 1
+            key = f"{fn.qname}#{n}"
+        self.functions[key] = fn
+        return key
+
+    def by_name(self):
+        """name -> [FunctionDef] index for call resolution."""
+        index = {}
+        for fn in self.functions.values():
+            index.setdefault(fn.name, []).append(fn)
+        return index
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    file: str
+    line: int
+    message: str
+    key: str  # stable identity for the suppression baseline
+
+    def render(self):
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"

@@ -1,0 +1,167 @@
+"""A minimal C++ lexer for the textual frontend.
+
+Produces a flat token stream with line numbers; comments, string and char
+literal *contents*, and preprocessor directives are dropped (strings become
+a single `str` token so expression shapes survive). This is not a general
+C++ lexer — it covers the subset the RNA tree uses, and the analyzer's
+self-tests (tests/analyze_fixtures/) lock the behaviours the checks rely
+on.
+"""
+
+from dataclasses import dataclass
+
+# Multi-char punctuators the parser cares about; everything else is split
+# into single characters. `::` keeps qualified names in one walkable chain
+# and `->` marks member calls.
+_MULTI = ("::", "->")
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "punct" | "str" | "char"
+    text: str
+    line: int
+
+
+def tokenize(text):
+    """Lexes `text` into a list of Tokens."""
+    tokens = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 2
+            continue
+        # Preprocessor directives: skip to end of line, honouring `\` line
+        # continuations (the tree has no multi-line macros, but be safe).
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        # String / char literals (raw strings handled as a plain scan for
+        # the closing delimiter; the tree only uses simple raw strings).
+        if c == '"' or (c == "R" and nxt == '"'):
+            start_line = line
+            if c == "R":
+                close = ')' + text[i + 2: text.index("(", i)] + '"'
+                j = text.index("(", i) + 1
+                end = text.find(close, j)
+                end = n if end < 0 else end + len(close)
+                line += text.count("\n", i, end)
+                i = end
+            else:
+                i += 1
+                while i < n:
+                    if text[i] == "\\":
+                        i += 2
+                        continue
+                    if text[i] == "\n":
+                        line += 1
+                    if text[i] == '"':
+                        i += 1
+                        break
+                    i += 1
+            tokens.append(Token("str", '""', start_line))
+            continue
+        if c == "'":
+            # Char literal; digit separators (1'000) never follow an
+            # identifier/number boundary handled here because numbers
+            # consume them below.
+            start_line = line
+            i += 1
+            while i < n:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == "'":
+                    i += 1
+                    break
+                i += 1
+            tokens.append(Token("char", "''", start_line))
+            continue
+        # Identifiers / keywords.
+        if c in _ID_START:
+            j = i
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Numbers (including 0x..., digit separators, suffixes, floats).
+        if c in _DIGITS or (c == "." and nxt in _DIGITS):
+            j = i
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'" or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j].replace("'", ""), line))
+            i = j
+            continue
+        # Punctuation.
+        for m in _MULTI:
+            if text.startswith(m, i):
+                tokens.append(Token("punct", m, line))
+                i += len(m)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def match_forward(tokens, i, open_ch="(", close_ch=")"):
+    """Index just past the group opened at tokens[i] (== open_ch)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_backward(tokens, i, open_ch="(", close_ch=")"):
+    """Index of the opener matching the closer at tokens[i] (== close_ch)."""
+    depth = 0
+    while i >= 0:
+        t = tokens[i].text
+        if t == close_ch:
+            depth += 1
+        elif t == open_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i -= 1
+    return 0

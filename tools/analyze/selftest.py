@@ -1,0 +1,97 @@
+"""Fixture-driven self-test: must-fire and must-pass cases per check.
+
+Each directory under tests/analyze_fixtures/ is a miniature analysis
+root. Any file in it may declare expectations:
+
+    // expect-fire: <check>      at least one <check> finding must fire
+    // expect-clean: <check>     zero <check> findings may fire
+
+The fixtures mimic the production qualified names (rna::nn::...,
+rna::net::Mailbox, ...) so the very same config.py entry/boundary/sink
+patterns are exercised — a fixture passing is evidence the real-tree run
+means what it says. The self-test runs under ctest (analyze_selftest) and
+in the CI static-analysis job, pinned to the textual frontend so the gate
+is deterministic; when libclang is importable the suite runs a second
+time against the cindex frontend as a cross-check.
+"""
+
+import re
+from pathlib import Path
+
+from . import frontend
+from .checks import CHECKS
+
+_EXPECT_RE = re.compile(r"//\s*expect-(fire|clean):\s*([\w-]+)")
+
+
+def _expectations(fixture_dir):
+    fire, clean = set(), set()
+    for p in sorted(Path(fixture_dir).rglob("*")):
+        if p.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+            continue
+        for kind, check in _EXPECT_RE.findall(
+                p.read_text(errors="replace")):
+            (fire if kind == "fire" else clean).add(check)
+    return fire, clean
+
+
+def run_fixture(fixture_dir, frontend_name="textual"):
+    """-> list of error strings (empty = pass)."""
+    fixture_dir = Path(fixture_dir)
+    fire, clean = _expectations(fixture_dir)
+    if not fire and not clean:
+        return [f"{fixture_dir.name}: no expect-fire/expect-clean "
+                "annotations found"]
+    unknown = (fire | clean) - set(CHECKS)
+    if unknown:
+        return [f"{fixture_dir.name}: unknown checks {sorted(unknown)}"]
+    files = frontend.collect_sources(fixture_dir, subdirs=())
+    program, used = frontend.build_program(
+        fixture_dir, files, frontend=frontend_name)
+    from .callgraph import CallGraph
+    graph = CallGraph(program)
+    counts = {name: 0 for name in CHECKS}
+    rendered = []
+    for name, check in CHECKS.items():
+        found = check(program, graph, root=fixture_dir)
+        counts[name] = len(found)
+        rendered.extend(f.render() for f in found)
+    errors = []
+    for check in sorted(fire):
+        if counts[check] == 0:
+            errors.append(
+                f"{fixture_dir.name}: expected {check} to fire, got 0 "
+                f"findings (frontend={used}); all findings: "
+                + ("; ".join(rendered) or "<none>"))
+    for check in sorted(clean):
+        if counts[check] != 0:
+            hits = [r for r in rendered if f"[{check}]" in r]
+            errors.append(
+                f"{fixture_dir.name}: expected {check} clean, got "
+                f"{counts[check]} findings (frontend={used}): "
+                + "; ".join(hits))
+    return errors
+
+
+def run_all(fixtures_root, frontend_name="textual", out=print):
+    fixtures_root = Path(fixtures_root)
+    dirs = sorted(d for d in fixtures_root.iterdir() if d.is_dir())
+    if not dirs:
+        out(f"analyze selftest: no fixtures under {fixtures_root}")
+        return 1
+    failures = 0
+    for d in dirs:
+        errors = run_fixture(d, frontend_name=frontend_name)
+        if errors:
+            failures += 1
+            for e in errors:
+                out(f"FAIL {e}")
+        else:
+            out(f"ok   {d.name}")
+    if failures:
+        out(f"analyze selftest: {failures}/{len(dirs)} fixtures failed "
+            f"(frontend={frontend_name})")
+        return 1
+    out(f"analyze selftest: {len(dirs)} fixtures passed "
+        f"(frontend={frontend_name})")
+    return 0

@@ -23,14 +23,6 @@ test). Enforces the repo's threading discipline, which Clang's
   unguarded-mutex   every Mutex member must have at least one member
                     annotated RNA_GUARDED_BY / RNA_PT_GUARDED_BY on it, so
                     the capability analysis actually covers the class.
-  untimed-recv      untimed blocking receives (Recv/RecvAny/Get/GetAny)
-                    deadlock the moment fault injection drops the message
-                    they are waiting for; code in src/core, src/ps,
-                    src/collectives, and src/baselines must use the deadline
-                    variants (RecvFor/RecvAnyFor/GetFor/GetAnyFor) — or the
-                    bounded-slice loop for wait-forever semantics — or carry
-                    a lint:allow with the argument for why the wait can
-                    always be satisfied.
   raw-stopwatch     protocol runners must time themselves through rna::obs
                     (ScopedTimer feeds both WorkerTimeBreakdown and the
                     trace, so figures and breakdowns cannot diverge);
@@ -38,6 +30,17 @@ test). Enforces the repo's threading discipline, which Clang's
                     second, unexported timing source. Applies to src/core,
                     src/train, src/baselines, src/ps; the obs module,
                     clock.hpp, tests and benches are exempt.
+
+Two former regex rules are RETIRED: the whole-program analyzer
+(tools/analyze) subsumes them with call-graph checks that see through
+wrapper functions, something a per-line regex never could:
+
+  untimed-recv      -> tools/analyze check `timed-recv`
+  nn-raw-alloc      -> tools/analyze check `no-heap-reachable`
+
+The lint still knows their names: a stale `lint:allow(<retired rule>)`
+comment is itself a finding that names the owning checker (migrate the
+comment to `analyze:allow(...)` at the real site, or delete it).
 
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 """
@@ -174,25 +177,6 @@ RULES = [
         lambda p: in_library(p) and p != MUTEX_HEADER,
     ),
     Rule(
-        "untimed-recv",
-        r"\.(?:Recv|RecvAny|Get|GetAny)\s*\(",
-        "untimed blocking receive deadlocks when fault injection drops the "
-        "awaited message; use RecvFor/RecvAnyFor/GetFor/GetAnyFor with a "
-        "deadline (or justify with lint:allow)",
-        lambda p: p.startswith(("src/core/", "src/ps/", "src/collectives/",
-                                "src/baselines/")),
-    ),
-    Rule(
-        "nn-raw-alloc",
-        r"\.resize\s*\(|\bnew\s+float\b|std::make_unique<\s*float\s*\[\]"
-        r"|std::vector<\s*float\s*>\s+\w+\s*[({]",
-        "per-call heap allocation in the NN hot path defeats the compute "
-        "arena's zero-allocation steady state; use a tensor::Tensor "
-        "(arena-backed scratch, Lifetime::kLong for fixed-size reusable "
-        "buffers) or a member sized at construction",
-        lambda p: p.startswith("src/nn/"),
-    ),
-    Rule(
         "raw-stopwatch",
         r"\bStopwatch\b",
         "runner code must time through rna::obs::ScopedTimer (rna/obs/"
@@ -202,6 +186,30 @@ RULES = [
                                 "src/ps/")),
     ),
 ]
+
+# Rules the call-graph analyzer took over. Keys are the old lint names;
+# values name the owning tools/analyze check. A surviving
+# `lint:allow(<retired>)` comment is dead weight — the regex it silenced is
+# gone — so the lint flags it and points at the new owner.
+RETIRED_RULES = {
+    "untimed-recv": "tools/analyze check 'timed-recv'",
+    "nn-raw-alloc": "tools/analyze check 'no-heap-reachable'",
+}
+
+
+def check_retired_suppressions(relpath, raw_lines, findings):
+    for i, raw in enumerate(raw_lines):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            continue
+        named = {r.strip() for r in m.group("rules").split(",")}
+        for rule in sorted(named & RETIRED_RULES.keys()):
+            findings.append(
+                (relpath, i + 1, "retired-rule",
+                 f"lint rule '{rule}' was retired; it is now enforced by "
+                 f"{RETIRED_RULES[rule]} — move the justification to an "
+                 "analyze:allow(...) comment or delete this suppression"))
+
 
 MUTEX_MEMBER_RE = re.compile(
     r"\b(?:common::)?Mutex\s+(?P<name>\w+_)\s*;")
@@ -241,6 +249,7 @@ def lint_text(relpath, text):
                     continue
                 findings.append((relpath, i + 1, rule.name, rule.message))
     check_unguarded_mutexes(relpath, code, raw_lines, findings)
+    check_retired_suppressions(relpath, raw_lines, findings)
     return findings
 
 
@@ -276,25 +285,15 @@ SELFTEST_CASES = [
     ("raw-mutex", "src/x.cpp", "std::scoped_lock lock(mu_);\n"),
     ("unguarded-mutex", "src/x.hpp",
      "class C { mutable common::Mutex mu_; int x; };\n"),
-    ("nn-raw-alloc", "src/nn/norm.cpp", "inv_std_.resize(rows);\n"),
-    ("nn-raw-alloc", "src/nn/lstm.cpp", "float* z = new float[4 * h];\n"),
-    ("nn-raw-alloc", "src/nn/layer.cpp", "std::vector<float> mask(n);\n"),
-    ("nn-raw-alloc", "src/nn/attention.hpp",
-     "auto buf = std::make_unique<float[]>(len);\n"),
     ("raw-stopwatch", "src/train/engine.cpp",
      "const common::Stopwatch watch;\n"),
     ("raw-stopwatch", "src/baselines/b.cpp", "Stopwatch w; use(w);\n"),
-    ("untimed-recv", "src/core/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
-    ("untimed-recv", "src/core/engine.cpp",
-     "msg = fabric.RecvAny(self, tags);\n"),
-    ("untimed-recv", "src/ps/server.cpp", "auto req = box.Get(tag);\n"),
-    ("untimed-recv", "src/ps/server.cpp", "auto any = box.GetAny(tags);\n"),
-    ("untimed-recv", "src/collectives/ring.cpp",
-     "auto in = fabric.Recv(self, TagOf(step));\n"),
-    ("untimed-recv", "src/collectives/fusion.cpp",
-     "auto m = box.GetAny(tags);\n"),
-    ("untimed-recv", "src/baselines/adpsgd.cpp",
-     "rep = fabric.Recv(w, tags::kAvgRep);\n"),
+    # Suppressions referencing retired rules are themselves findings that
+    # point at the tools/analyze check which now owns the invariant.
+    ("retired-rule", "src/core/engine.cpp",
+     "go = fabric.Recv(w, kGo);  // lint:allow(untimed-recv)\n"),
+    ("retired-rule", "src/nn/norm.cpp",
+     "inv_std_.resize(rows);  // lint:allow(nn-raw-alloc)\n"),
 ]
 
 SELFTEST_CLEAN = [
@@ -318,25 +317,17 @@ SELFTEST_CLEAN = [
     ("tests/t.cpp", "common::Stopwatch watch;\n"),
     ("src/common/include/rna/common/clock.hpp", "class Stopwatch {};\n"),
     ("src/obs/trace.cpp", "// replaces the Stopwatch pattern\n"),
-    # Deadline receives are the sanctioned form, and the rule is scoped to
-    # the protocol layers that must survive message loss.
-    ("src/core/engine.cpp", "auto m = fabric.RecvFor(w, 5, 0.1);\n"),
-    ("src/core/engine.cpp", "msg = fabric.RecvAnyFor(self, tags, left);\n"),
-    ("src/ps/server.cpp", "auto req = box.GetAnyFor(tags, 0.05);\n"),
-    ("src/collectives/ring.cpp",
-     "auto msg = fabric.RecvFor(self, tag, kForeverSlice);\n"),
-    ("src/baselines/horovod.cpp",
-     "ring_ok = collectives::RingAllreduceFor(fabric, group, w, buffer,\n"),
-    ("src/train/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
+    # Receive-deadline and hot-path allocation discipline moved to
+    # tools/analyze; the lint no longer fires on any of these, and the
+    # analyzer's own fixtures (tests/analyze_fixtures/) cover them.
+    ("src/core/engine.cpp", "auto m = fabric.Recv(w, 5);\n"),
+    ("src/nn/lstm.cpp", "float* z = new float[4 * h];\n"),
+    # A suppression that migrated to the analyzer's comment form is not a
+    # stale lint suppression.
     ("src/core/engine.cpp",
-     "go = fabric.Recv(w, kGo);  // lint:allow(untimed-recv)\n"),
-    # The arena idiom replacing raw allocation in the NN hot path, and
-    # pointer-vector members that are sized once at construction.
-    ("src/nn/lstm.cpp",
-     "if (t.Size() != size) t = Tensor({size}, tensor::Lifetime::kLong);\n"),
-    ("src/nn/network.cpp", "std::vector<tensor::Tensor*> out;\n"),
-    # resize stays legal outside src/nn (the sampler builds batches on the
-    # heap by design).
+     "go = fabric.Recv(w, kGo);  // analyze:allow(timed-recv)\n"),
+    # Live-rule suppressions are still honoured, not flagged as retired.
+    ("src/x.cpp", "std::mutex legacy2;  // lint:allow(raw-mutex)\n"),
     ("src/data/sampler.cpp", "indices.resize(batch_size);\n"),
 ]
 
@@ -378,6 +369,9 @@ def main():
     if not root.is_dir():
         print(f"lint: error: root {root} is not a directory", file=sys.stderr)
         return 2
+    for rule, owner in sorted(RETIRED_RULES.items()):
+        print(f"lint: note: rule '{rule}' is retired — now enforced by "
+              f"{owner}")
     findings, scanned = lint_tree(root)
     if scanned == 0:
         print(f"lint: error: no C++ sources found under {root} "
