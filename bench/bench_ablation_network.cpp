@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "rna/collectives/ring.hpp"
+#include "rna/collectives/allreduce.hpp"
 #include "rna/common/stats.hpp"
 #include "rna/net/fabric.hpp"
 
@@ -37,8 +37,9 @@ double MeasureRingRounds(std::size_t world, std::size_t elements,
     threads.emplace_back([&, r] {
       std::vector<float> data(elements, 1.0f);
       for (std::size_t round = 0; round < rounds; ++round) {
-        collectives::RingAllreduce(fabric, group, r, data,
-                                   1000 + static_cast<int>(round % 2) * 4096);
+        collectives::CollectiveOptions opts;
+        opts.tag_base = 1000 + static_cast<int>(round % 2) * 4096;
+        collectives::Allreduce({fabric, group, r}, opts, data);
         for (auto& x : data) x = 1.0f;
       }
     });

@@ -25,6 +25,10 @@ inline void WriteBenchJson(const std::string& path, const std::string& bench,
                            const std::vector<BenchRow>& rows) {
   std::ofstream out(path);
   if (!out.good()) throw std::runtime_error("cannot open " + path);
+  // Round-trip precision: absolute gates (e.g. exact wire-byte ceilings)
+  // compare against these values, so default 6-digit formatting would
+  // round a conforming 14680064 up past a 14680064.0 ceiling.
+  out.precision(17);
   out << "{\"bench\":\"" << bench << "\",\"rows\":[";
   for (std::size_t r = 0; r < rows.size(); ++r) {
     out << (r ? ",\n" : "\n") << "{\"label\":\"" << rows[r].label << '"';

@@ -21,8 +21,8 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "rna/collectives/allreduce.hpp"
 #include "rna/collectives/fusion.hpp"
-#include "rna/collectives/ring.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/ps/server.hpp"
 
@@ -95,12 +95,13 @@ void RunAllreduceRounds(std::size_t world, std::size_t elements,
     threads.emplace_back([&, r] {
       std::vector<float> data(elements, 1.0f);
       for (std::size_t round = 0; round < rounds; ++round) {
-        const int tag = 1000 + static_cast<int>(round % 2) * 4096;
+        collectives::CollectiveOptions opts;
+        opts.tag_base = 1000 + static_cast<int>(round % 2) * 4096;
         if (partial) {
-          collectives::RingPartialAllreduce(fabric, group, r, data,
-                                            /*contributes=*/r % 2 == 0, tag);
+          collectives::PartialAllreduceFor({fabric, group, r}, opts, data,
+                                           /*contributes=*/r % 2 == 0);
         } else {
-          collectives::RingAllreduce(fabric, group, r, data, tag);
+          collectives::Allreduce({fabric, group, r}, opts, data);
           for (auto& x : data) x = 1.0f;  // keep values bounded
         }
       }
@@ -171,8 +172,9 @@ benchutil::BenchRow RingBaselineRow() {
     std::vector<std::thread> threads;
     for (std::size_t r = 0; r < kWorld; ++r) {
       threads.emplace_back([&, r] {
-        collectives::RingAllreduce(fabric, group, r, bufs[r],
-                                   /*tag_base=*/round * 1000);
+        collectives::CollectiveOptions opts;
+        opts.tag_base = round * 1000;
+        collectives::Allreduce({fabric, group, r}, opts, bufs[r]);
       });
     }
     for (auto& t : threads) t.join();
@@ -221,8 +223,10 @@ benchutil::BenchRow FusedBaselineRow() {
     std::vector<std::thread> threads;
     for (std::size_t r = 0; r < kWorld; ++r) {
       threads.emplace_back([&, r] {
-        collectives::FusedAllreduce(fabric, group, r, specs, ptrs[r], plan,
-                                    /*tag_base=*/round * tags_per_round);
+        collectives::CollectiveOptions opts;
+        opts.tag_base = round * tags_per_round;
+        collectives::FusedAllreduce({fabric, group, r}, opts, specs, ptrs[r],
+                                    plan);
       });
     }
     for (auto& t : threads) t.join();

@@ -51,7 +51,10 @@ int main(int argc, char** argv) {
         "  [--rounds K] [--target-loss L] [--batch B] [--lr R]\n"
         "  [--momentum M] [--probes Q] [--staleness H] [--seed S]\n"
         "  [--tiers 1,2,3] [--jitter-ms J] [--checkpoint PATH]\n"
-        "  [--trace-out TRACE.json] [--metrics-out METRICS.jsonl]\n");
+        "  [--schedule ring|tree|stragglar] [--compression "
+        "none|fp16|int8|topk]\n"
+        "  [--topk-fraction F] [--trace-out TRACE.json] "
+        "[--metrics-out METRICS.jsonl]\n");
     return 0;
   }
 
@@ -133,6 +136,28 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("staleness", 4));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   config.eval_period_s = 0.02;
+
+  // Collective policy: reduction schedule and wire compression.
+  const std::string schedule_name = flags.GetString("schedule", "ring");
+  const std::optional<collectives::Schedule> schedule =
+      collectives::ParseSchedule(schedule_name);
+  if (!schedule.has_value()) {
+    std::fprintf(stderr, "unknown schedule: %s\n", schedule_name.c_str());
+    return 1;
+  }
+  config.schedule = *schedule;
+  const std::string compression_name =
+      flags.GetString("compression", "none");
+  const std::optional<collectives::Compression> compression =
+      collectives::ParseCompression(compression_name);
+  if (!compression.has_value()) {
+    std::fprintf(stderr, "unknown compression: %s\n",
+                 compression_name.c_str());
+    return 1;
+  }
+  config.compression = *compression;
+  config.topk_fraction =
+      flags.GetDouble("topk-fraction", config.topk_fraction);
 
   const double jitter_ms = flags.GetDouble("jitter-ms", 1.0);
   if (flags.Has("tiers") || jitter_ms > 0.0) {

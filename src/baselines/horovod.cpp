@@ -2,7 +2,7 @@
 #include <thread>
 
 #include "rna/baselines/baselines.hpp"
-#include "rna/collectives/ring.hpp"
+#include "rna/collectives/allreduce.hpp"
 #include "rna/common/check.hpp"
 #include "rna/common/simd.hpp"
 #include "rna/net/fabric.hpp"
@@ -75,6 +75,19 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
       std::vector<float> params = init;
       std::vector<float> buffer(dim + 1);  // gradient ‖ stop vote
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
+      // Per-worker error-feedback residual for lossy compression. The stop
+      // vote rides in the exact tail, so it is never quantized: the vote
+      // sum stays bitwise-identical on every worker and the collective
+      // exit stays unanimous.
+      collectives::ErrorFeedback feedback;
+      feedback.EnsureSize(dim + 1);
+      collectives::CollectiveOptions opts;
+      opts.schedule = config.schedule;
+      opts.compression = config.compression;
+      opts.topk_fraction = config.topk_fraction;
+      opts.hop_timeout = hop_timeout;
+      opts.feedback = &feedback;
+      opts.exact_tail = 1;
 
       for (std::size_t round = 0; round < config.max_rounds; ++round) {
         for (std::size_t milestone : config.lr_decay_rounds) {
@@ -112,8 +125,8 @@ TrainResult RunHorovod(const TrainerConfig& config, const ModelFactory& factory,
           obs::ScopedTimer comm_timer(track, obs::Category::kComm,
                                       "allreduce", &wait_comm[w].comm);
           comm_timer.SetArg("round", static_cast<double>(round));
-          ring_ok = collectives::RingAllreduceFor(
-              fabric, group, w, buffer, tags::RingTag(round), hop_timeout);
+          opts.tag_base = tags::RingTag(round);
+          ring_ok = collectives::AllreduceFor({fabric, group, w}, opts, buffer);
         }
         if (!ring_ok) break;
 

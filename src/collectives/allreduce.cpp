@@ -1,0 +1,94 @@
+#include "rna/collectives/allreduce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rna/common/check.hpp"
+#include "rna/common/simd.hpp"
+
+namespace rna::collectives {
+
+Pass::Pass(const CollectiveContext& ctx, const CollectiveOptions& options,
+           std::span<float> data)
+    : impl_(options.schedule == Schedule::kTree
+                ? std::variant<RingPass, TreePass>(
+                      std::in_place_type<TreePass>, ctx, options, data)
+                : std::variant<RingPass, TreePass>(
+                      std::in_place_type<RingPass>, ctx, options, data)) {}
+
+void Pass::LaunchHop() {
+  std::visit([](auto& pass) { pass.LaunchHop(); }, impl_);
+}
+
+bool Pass::CompleteHop() {
+  return std::visit([](auto& pass) { return pass.CompleteHop(); }, impl_);
+}
+
+bool Pass::Done() const {
+  return std::visit([](const auto& pass) { return pass.Done(); }, impl_);
+}
+
+bool Pass::Failed() const {
+  return std::visit([](const auto& pass) { return pass.Failed(); }, impl_);
+}
+
+bool AllreduceFor(const CollectiveContext& ctx,
+                  const CollectiveOptions& options, std::span<float> data) {
+  Pass pass(ctx, options, data);
+  while (!pass.Done()) {
+    pass.LaunchHop();
+    if (!pass.CompleteHop()) return false;
+  }
+  return true;
+}
+
+void Allreduce(const CollectiveContext& ctx, const CollectiveOptions& options,
+               std::span<float> data) {
+  RNA_CHECK_MSG(AllreduceFor(ctx, options, data),
+                "fabric shut down mid-collective");
+}
+
+PartialResult PartialAllreduceFor(const CollectiveContext& ctx,
+                                  const CollectiveOptions& options,
+                                  std::span<float> data, bool contributes) {
+  // The contributor flag travels as one extra element appended to the
+  // payload — carried bit-exact through every compression policy via the
+  // wire formats' exact tail. A single pass reduces both gradient and Σw.
+  // The working buffer comes from the fabric pool: a round-per-millisecond
+  // protocol would otherwise allocate a gradient-sized vector per round.
+  net::Fabric& fabric = ctx.fabric;
+  std::vector<float> buffer = fabric.Pool().Acquire(data.size() + 1);
+  if (contributes) {
+    std::copy(data.begin(), data.end(), buffer.begin());
+    buffer.back() = 1.0f;
+  } else {
+    // Null gradient: keep the communication graph, contribute zeros.
+    std::fill(buffer.begin(), buffer.end(), 0.0f);
+  }
+
+  CollectiveOptions partial = options;
+  partial.exact_tail = 1;
+
+  PartialResult result;
+  if (!AllreduceFor(ctx, partial, buffer)) {
+    // Aborted mid-pass (member crash or shutdown): the partial sums are
+    // meaningless — zero the output and tell the caller to skip the step.
+    RNA_CHECK_MSG(options.hop_timeout > 0.0, "fabric shut down mid-collective");
+    std::fill(data.begin(), data.end(), 0.0f);
+    fabric.Pool().Recycle(std::move(buffer));
+    result.ok = false;
+    return result;
+  }
+  result.contributors = static_cast<std::size_t>(std::lround(buffer.back()));
+  if (result.contributors > 0) {
+    const float w = 1.0f / static_cast<float>(result.contributors);
+    common::simd::ScaledCopy(
+        data, std::span<const float>(buffer.data(), data.size()), w);
+  } else {
+    std::fill(data.begin(), data.end(), 0.0f);
+  }
+  fabric.Pool().Recycle(std::move(buffer));
+  return result;
+}
+
+}  // namespace rna::collectives

@@ -68,26 +68,33 @@ void UnpackBucket(const FusionPlan::Bucket& bucket,
 
 }  // namespace
 
-bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
-                       std::size_t my_index, std::span<const TensorSpec> specs,
-                       std::span<float* const> tensors, const FusionPlan& plan,
-                       int tag_base, common::Seconds hop_timeout) {
+bool FusedAllreduceFor(const CollectiveContext& ctx,
+                       const CollectiveOptions& options,
+                       std::span<const TensorSpec> specs,
+                       std::span<float* const> tensors,
+                       const FusionPlan& plan) {
   RNA_CHECK_MSG(specs.size() == tensors.size(),
                 "one buffer per tensor spec required");
   if (plan.buckets.empty()) return true;
-  const int stride = FusionTagStride(group.Size());
+  net::Fabric& fabric = ctx.fabric;
+  const int stride = FusionTagStride(ctx.group.Size());
   const std::size_t peak = plan.MaxBucketElements();
 
   // Double-buffered staging from the pool: bucket b stages in staging[b%2],
-  // so packing bucket b+1 never touches the buffer whose ring is in flight.
+  // so packing bucket b+1 never touches the buffer whose pass is in flight.
   std::vector<float> staging[2] = {fabric.Pool().Acquire(peak),
                                    fabric.Pool().Acquire(peak)};
   auto stage_span = [&](std::size_t b) {
     return std::span<float>(staging[b % 2].data(), plan.buckets[b].elements);
   };
-  auto ring_for = [&](std::size_t b) {
-    return RingPass(fabric, group, my_index, stage_span(b),
-                    tag_base + static_cast<int>(b) * stride, hop_timeout);
+  // Cumulative element offset of each bucket — the per-bucket window into
+  // the caller's shared error-feedback buffer, so residuals track the same
+  // tensor elements across calls regardless of bucket boundaries.
+  auto pass_for = [&](std::size_t b, std::size_t element_offset) {
+    CollectiveOptions bucket = options;
+    bucket.tag_base = options.tag_base + static_cast<int>(b) * stride;
+    bucket.feedback_offset = options.feedback_offset + element_offset;
+    return Pass(ctx, bucket, stage_span(b));
   };
   auto finish = [&](bool ok) {
     fabric.Pool().Recycle(std::move(staging[0]));
@@ -95,18 +102,19 @@ bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
     return ok;
   };
 
-  // Software pipeline: while bucket b's ring drains, bucket b+1 is already
+  // Software pipeline: while bucket b's pass drains, bucket b+1 is already
   // packed and its first hop launched. Launching ahead is safe because the
   // buckets' tag ranges are disjoint and every member packs bucket b+1
   // before it could ever need our hop data.
   PackBucket(plan.buckets[0], specs, tensors, stage_span(0));
-  RingPass current = ring_for(0);
+  std::size_t offset = 0;
+  Pass current = pass_for(0, 0);
   current.LaunchHop();
   for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
-    std::optional<RingPass> next;
+    std::optional<Pass> next;
     if (b + 1 < plan.buckets.size()) {
       PackBucket(plan.buckets[b + 1], specs, tensors, stage_span(b + 1));
-      next.emplace(ring_for(b + 1));
+      next.emplace(pass_for(b + 1, offset + plan.buckets[b].elements));
       next->LaunchHop();
     }
     while (!current.Done()) {
@@ -114,17 +122,17 @@ bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
       current.LaunchHop();
     }
     UnpackBucket(plan.buckets[b], specs, tensors, stage_span(b));
+    offset += plan.buckets[b].elements;
     if (next.has_value()) current = std::move(*next);
   }
   return finish(true);
 }
 
-void FusedAllreduce(net::Fabric& fabric, const Group& group,
-                    std::size_t my_index, std::span<const TensorSpec> specs,
-                    std::span<float* const> tensors, const FusionPlan& plan,
-                    int tag_base) {
-  RNA_CHECK_MSG(FusedAllreduceFor(fabric, group, my_index, specs, tensors,
-                                  plan, tag_base, /*hop_timeout=*/0.0),
+void FusedAllreduce(const CollectiveContext& ctx,
+                    const CollectiveOptions& options,
+                    std::span<const TensorSpec> specs,
+                    std::span<float* const> tensors, const FusionPlan& plan) {
+  RNA_CHECK_MSG(FusedAllreduceFor(ctx, options, specs, tensors, plan),
                 "fabric shut down mid-collective");
 }
 

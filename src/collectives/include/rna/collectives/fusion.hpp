@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "rna/collectives/ring.hpp"
+#include "rna/collectives/allreduce.hpp"
 
 namespace rna::collectives {
 
@@ -44,34 +44,38 @@ struct FusionPlan {
                           std::size_t max_bucket_elements);
 };
 
-/// Tags consumed per bucket: each bucket's ring uses up to 2·world step
-/// tags; buckets are spaced by this stride so concurrent in-flight buckets
-/// cannot collide. A fused call owns [tag_base, tag_base +
-/// BucketCount()·stride) — the range to purge after an aborted call.
+/// Tags consumed per bucket: each bucket's pass uses at most 2·world step
+/// tags (RingTagSpan/TreeTagSpan, schedule.hpp); buckets are spaced by this
+/// stride so concurrent in-flight buckets cannot collide. A fused call owns
+/// [tag_base, tag_base + BucketCount()·stride) — the range to purge after
+/// an aborted call.
 inline int FusionTagStride(std::size_t world) {
   return static_cast<int>(2 * world + 2);
 }
 
 /// Cooperative fused sum-allreduce: every group member calls it with the
-/// same specs/plan and its local per-tensor buffers. Each bucket is
-/// gathered into a staging buffer, ring-allreduced (bucket i uses
-/// tag_base + i·FusionTagStride(world)), and scattered back — so results
-/// are bitwise identical to reducing one concatenated buffer.
-void FusedAllreduce(net::Fabric& fabric, const Group& group,
-                    std::size_t my_index, std::span<const TensorSpec> specs,
-                    std::span<float* const> tensors, const FusionPlan& plan,
-                    int tag_base);
+/// same specs/plan/options and its local per-tensor buffers. Each bucket is
+/// gathered into a staging buffer, allreduced under the options' schedule
+/// and compression (bucket i's pass uses options.tag_base +
+/// i·FusionTagStride(world)), and scattered back — with
+/// Compression::kNone the results are bitwise identical to reducing one
+/// concatenated buffer.
+void FusedAllreduce(const CollectiveContext& ctx,
+                    const CollectiveOptions& options,
+                    std::span<const TensorSpec> specs,
+                    std::span<float* const> tensors, const FusionPlan& plan);
 
-/// Timed variant: every hop receive of every bucket's ring is bounded by
-/// `hop_timeout` (0 or negative = wait forever), routed through the same
-/// RingPass deadline machinery as RingAllreduceFor. Returns false when a
-/// hop timed out or the fabric shut down; the tensors are then in an
+/// Timed variant: every hop receive of every bucket's pass is bounded by
+/// options.hop_timeout (0 or negative = wait forever), routed through the
+/// same pass deadline machinery as AllreduceFor. Returns false when a hop
+/// timed out or the fabric shut down; the tensors are then in an
 /// unspecified partial state (completed buckets reduced, the failed and
 /// later buckets not) and the caller must discard the round and purge the
 /// call's tag range before those tags are reused.
-bool FusedAllreduceFor(net::Fabric& fabric, const Group& group,
-                       std::size_t my_index, std::span<const TensorSpec> specs,
-                       std::span<float* const> tensors, const FusionPlan& plan,
-                       int tag_base, common::Seconds hop_timeout);
+bool FusedAllreduceFor(const CollectiveContext& ctx,
+                       const CollectiveOptions& options,
+                       std::span<const TensorSpec> specs,
+                       std::span<float* const> tensors,
+                       const FusionPlan& plan);
 
 }  // namespace rna::collectives

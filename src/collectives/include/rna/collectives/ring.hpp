@@ -4,8 +4,10 @@
 // the paper describes Ring AllReduce (§2.2): N−1 reduce-scatter steps, each
 // moving 1/N of the buffer to the left-to-right neighbor, then N−1
 // all-gather steps. These primitives are *cooperative*: every member of the
-// group must call the same operation with the same tag_base, exactly like an
-// MPI collective.
+// group must call the same operation with the same options, exactly like an
+// MPI collective. The allreduce entry points live in allreduce.hpp; this
+// header has the ring pass state machine plus the broadcast/barrier
+// primitives.
 //
 // Data plane (see DESIGN.md "Data plane & memory"): hop payloads are
 // acquired from the fabric's BufferPool and recycled by the receiver after
@@ -14,53 +16,49 @@
 // vectorized kernels in rna/common/simd.hpp (bitwise identical to their
 // scalar references). Hops are exposed as a resumable RingPass state
 // machine so fusion can pipeline several buckets' rings.
-//
-// `RingPartialAllreduce` is the partial-collective variant RNA is built on:
-// each rank declares whether it contributes a real gradient; a contributor
-// count rides along in the reduction, and the reduced sum is re-weighted by
-// W = 1/Σw on every rank (Algorithm 2 in the paper). Non-contributors pass
-// a null (zero) gradient, which preserves the communication graph.
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "rna/collectives/options.hpp"
 #include "rna/net/fabric.hpp"
 
 namespace rna::collectives {
 
-using net::Rank;
-
-/// An ordered set of fabric endpoints forming one logical ring.
-/// For flat (non-hierarchical) training this is simply {0, 1, ..., N−1}.
-struct Group {
-  std::vector<Rank> members;
-
-  std::size_t Size() const { return members.size(); }
-  Rank At(std::size_t index) const { return members.at(index); }
-
-  /// Index of a fabric rank inside the group; throws if absent.
-  std::size_t IndexOf(Rank rank) const;
-
-  static Group Full(std::size_t world);
-};
+namespace detail {
+/// Receive with the collective deadline contract: `timeout` > 0 is a plain
+/// timed receive; 0 or negative loops bounded RecvFor slices with an
+/// IsClosed check between them, so even "untimed" collectives never sit in
+/// an unbounded blocking receive.
+std::optional<net::Message> RecvHop(net::Fabric& fabric, Rank self, int tag,
+                                    common::Seconds timeout);
+}  // namespace detail
 
 /// One ring allreduce pass as a resumable hop state machine: 2(N−1) hops,
 /// each a LaunchHop() (send this step's chunk to the right neighbor, never
 /// blocks) followed by a CompleteHop() (receive, fold, advance). Driving it
-/// to completion hop by hop reproduces RingAllreduceFor exactly; launching
+/// to completion hop by hop is AllreduceFor with Schedule::kRing; launching
 /// the first hop of pass k+1 before completing pass k is what lets
-/// FusedAllreduceFor pipeline buckets (each pass owns a disjoint tag range).
+/// FusedAllreduceFor pipeline buckets (each pass owns a disjoint tag range,
+/// see RingTagSpan in schedule.hpp).
 ///
-/// The caller's `data` span and `group` must outlive the pass. A timeout or
-/// fabric shutdown marks the pass Failed(); the data buffer is then in an
-/// undefined partial state and the pass's tag range should be purged before
-/// the tags are reused.
+/// Options consumed: compression (chunks are encoded through rna/net/wire
+/// on every send — Compression::kNone keeps the historical dense payloads
+/// bit for bit), topk_fraction, exact_tail, feedback, hop_timeout,
+/// tag_base, and — when schedule == Schedule::kStragglar — `straggler`:
+/// that member is moved to the ring's tail *position* (chunk ownership and
+/// neighbors permute with it; tags do not), so its slow hops overlap the
+/// most other work instead of stalling a fixed pair of neighbors.
+///
+/// The caller's `data` span, group, and feedback must outlive the pass. A
+/// timeout or fabric shutdown marks the pass Failed(); the data buffer is
+/// then in an undefined partial state and the pass's tag range should be
+/// purged before the tags are reused.
 class RingPass {
  public:
-  /// `hop_timeout` > 0 bounds every CompleteHop receive; 0 or negative
-  /// waits until the message arrives or the fabric shuts down.
-  RingPass(net::Fabric& fabric, const Group& group, std::size_t my_index,
-           std::span<float> data, int tag_base, common::Seconds hop_timeout);
+  RingPass(const CollectiveContext& ctx, const CollectiveOptions& options,
+           std::span<float> data);
 
   /// Sends the current hop's chunk if it has not been sent yet. No-op when
   /// the pass is Done(), Failed(), or the hop is already in flight.
@@ -77,16 +75,25 @@ class RingPass {
  private:
   std::size_t OffsetOf(std::size_t c) const;
   std::span<float> Chunk(std::size_t c) const;
+  std::size_t TailInChunk(std::size_t c) const;
   int TagOf(std::size_t step) const;
+  std::size_t PosToIndex(std::size_t pos) const;
+  std::vector<float> EncodeChunk(std::size_t c);
 
   net::Fabric* fabric_;
   const Group* group_;
-  std::size_t my_index_;
   std::span<float> data_;
   int tag_base_;
   common::Seconds hop_timeout_;
+  net::wire::Format format_;
+  double topk_fraction_;
+  std::size_t exact_tail_;
+  ErrorFeedback* feedback_;
+  std::size_t feedback_offset_;
+  std::size_t straggler_;  ///< group index at the tail, or kNoStraggler
 
   std::size_t world_;
+  std::size_t pos_ = 0;  ///< my position in the (possibly permuted) ring
   Rank self_ = 0;
   Rank right_ = 0;
   std::size_t chunk_base_ = 0;
@@ -95,42 +102,11 @@ class RingPass {
   std::size_t step_ = 0;
   bool sent_ = false;
   bool failed_ = false;
+  /// All-gather frames are forwarded verbatim (never re-encoded, so lossy
+  /// compression is applied exactly once per chunk); this stashes the frame
+  /// received last hop until the next LaunchHop sends it on.
+  std::optional<std::vector<float>> forward_;
 };
-
-/// In-place sum-allreduce: after the call every member's `data` holds the
-/// elementwise sum across the group. `my_index` is this caller's position in
-/// the group. All members must pass equal-size buffers and the same
-/// tag_base; tag_base must not collide with other traffic in flight.
-void RingAllreduce(net::Fabric& fabric, const Group& group,
-                   std::size_t my_index, std::span<float> data, int tag_base);
-
-/// Timed variant: each of the 2(N−1) hop receives waits at most
-/// `hop_timeout` seconds (0 or negative = wait forever). Returns false when
-/// a hop timed out or the fabric shut down — i.e. a group member crashed
-/// mid-collective — leaving `data` in an undefined partial state; the
-/// caller must abort the round and discard the buffer. This is what keeps a
-/// mid-ring crash from deadlocking every survivor in Recv.
-bool RingAllreduceFor(net::Fabric& fabric, const Group& group,
-                      std::size_t my_index, std::span<float> data,
-                      int tag_base, common::Seconds hop_timeout);
-
-struct PartialResult {
-  /// Number of ranks that contributed a real gradient (Σw).
-  std::size_t contributors = 0;
-  /// False when the collective aborted (member crash / timeout / shutdown);
-  /// the data buffer is zeroed and contributors is 0 in that case.
-  bool ok = true;
-};
-
-/// Partial allreduce (Algorithm 2): ranks with `contributes == false` send a
-/// null gradient (their buffer is zeroed on entry). On exit every member's
-/// buffer holds (Σ contributed gradients) / Σw — the weighted average — or
-/// all zeros when nobody contributed. `hop_timeout` > 0 bounds each hop
-/// receive; on timeout the result has ok == false (see RingAllreduceFor).
-PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
-                                   std::size_t my_index, std::span<float> data,
-                                   bool contributes, int tag_base,
-                                   common::Seconds hop_timeout = 0.0);
 
 /// Star broadcast from `root_index` to all other members.
 void Broadcast(net::Fabric& fabric, const Group& group, std::size_t my_index,

@@ -1,7 +1,6 @@
 #include "rna/collectives/ring.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "rna/common/check.hpp"
 #include "rna/common/simd.hpp"
@@ -15,6 +14,10 @@ namespace {
 /// sit in an unbounded blocking receive (the untimed-recv deadlock class).
 constexpr common::Seconds kForeverSlice = 0.05;
 
+}  // namespace
+
+namespace detail {
+
 std::optional<net::Message> RecvHop(net::Fabric& fabric, Rank self, int tag,
                                     common::Seconds timeout) {
   if (timeout > 0.0) return fabric.RecvFor(self, tag, timeout);
@@ -24,7 +27,7 @@ std::optional<net::Message> RecvHop(net::Fabric& fabric, Rank self, int tag,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 std::size_t Group::IndexOf(Rank rank) const {
   const auto it = std::find(members.begin(), members.end(), rank);
@@ -39,23 +42,58 @@ Group Group::Full(std::size_t world) {
   return g;
 }
 
-RingPass::RingPass(net::Fabric& fabric, const Group& group,
-                   std::size_t my_index, std::span<float> data, int tag_base,
-                   common::Seconds hop_timeout)
-    : fabric_(&fabric),
-      group_(&group),
-      my_index_(my_index),
+RingPass::RingPass(const CollectiveContext& ctx,
+                   const CollectiveOptions& options, std::span<float> data)
+    : fabric_(&ctx.fabric),
+      group_(&ctx.group),
       data_(data),
-      tag_base_(tag_base),
-      hop_timeout_(hop_timeout),
-      world_(group.Size()) {
-  RNA_CHECK_MSG(world_ > 0 && my_index_ < world_, "bad group index");
+      tag_base_(options.tag_base),
+      hop_timeout_(options.hop_timeout),
+      format_(ToWireFormat(options.compression)),
+      topk_fraction_(options.topk_fraction),
+      exact_tail_(options.exact_tail),
+      feedback_(options.compression == Compression::kNone ? nullptr
+                                                          : options.feedback),
+      feedback_offset_(options.feedback_offset),
+      straggler_(options.schedule == Schedule::kStragglar ? options.straggler
+                                                          : kNoStraggler),
+      world_(ctx.group.Size()) {
+  RNA_CHECK_MSG(world_ > 0 && ctx.my_index < world_, "bad group index");
+  RNA_CHECK_MSG(exact_tail_ <= data_.size(),
+                "exact tail larger than the buffer");
+  if (format_ == net::wire::Format::kTopK) {
+    RNA_CHECK_MSG(topk_fraction_ > 0.0 && topk_fraction_ <= 1.0,
+                  "top-k fraction must be in (0, 1]");
+  }
+  if (feedback_ != nullptr &&
+      feedback_->Size() < feedback_offset_ + data_.size()) {
+    feedback_->EnsureSize(feedback_offset_ + data_.size());
+  }
   if (world_ == 1) return;  // total_steps_ stays 0: Done() immediately
-  self_ = group.At(my_index_);
-  right_ = group.At((my_index_ + 1) % world_);
+  // The StragglAR-style permutation moves the straggler to the tail
+  // *position*; everyone else keeps their relative order. Positions — not
+  // member indices — own chunks and define neighbors, so the permutation
+  // re-routes the ring without touching tags or membership.
+  std::size_t pos = ctx.my_index;
+  if (straggler_ < world_) {
+    if (ctx.my_index == straggler_) {
+      pos = world_ - 1;
+    } else if (ctx.my_index > straggler_) {
+      pos = ctx.my_index - 1;
+    }
+  }
+  pos_ = pos;
+  self_ = ctx.group.At(ctx.my_index);
+  right_ = ctx.group.At(PosToIndex((pos_ + 1) % world_));
   chunk_base_ = data_.size() / world_;
   chunk_extra_ = data_.size() % world_;
   total_steps_ = 2 * (world_ - 1);
+}
+
+std::size_t RingPass::PosToIndex(std::size_t pos) const {
+  if (straggler_ >= world_) return pos;
+  if (pos == world_ - 1) return straggler_;
+  return pos < straggler_ ? pos : pos + 1;
 }
 
 std::size_t RingPass::OffsetOf(std::size_t c) const {
@@ -71,13 +109,37 @@ std::span<float> RingPass::Chunk(std::size_t c) const {
   return data_.subspan(OffsetOf(c), OffsetOf(c + 1) - OffsetOf(c));
 }
 
+std::size_t RingPass::TailInChunk(std::size_t c) const {
+  // How many of the buffer's last `exact_tail_` elements land in chunk c.
+  if (exact_tail_ == 0) return 0;
+  const std::size_t lo = OffsetOf(c);
+  const std::size_t hi = OffsetOf(c + 1);
+  const std::size_t tail_lo = data_.size() - exact_tail_;
+  const std::size_t from = std::max(lo, tail_lo);
+  return hi > from ? hi - from : 0;
+}
+
 int RingPass::TagOf(std::size_t step) const {
   // Reduce-scatter steps use tag_base + step; all-gather steps keep the
   // historical tag_base + world + gather_step layout (the tag at
-  // tag_base + world − 1 is unused).
+  // tag_base + world − 1 is unused). See RingTagSpan in schedule.hpp.
   const std::size_t reduce_steps = world_ - 1;
   if (step < reduce_steps) return tag_base_ + static_cast<int>(step);
   return tag_base_ + static_cast<int>(world_ + (step - reduce_steps));
+}
+
+std::vector<float> RingPass::EncodeChunk(std::size_t c) {
+  const auto out = Chunk(c);
+  const std::size_t tail = TailInChunk(c);
+  std::span<float> residual{};
+  if (feedback_ != nullptr) {
+    residual = feedback_->Slice(feedback_offset_ + OffsetOf(c), out.size());
+  }
+  const std::size_t k =
+      format_ == net::wire::Format::kTopK
+          ? net::wire::TopKCount(out.size() - tail, topk_fraction_)
+          : 0;
+  return net::wire::Encode(fabric_->Pool(), format_, out, residual, k, tail);
 }
 
 void RingPass::LaunchHop() {
@@ -85,14 +147,30 @@ void RingPass::LaunchHop() {
   const std::size_t reduce_steps = world_ - 1;
   const bool reducing = step_ < reduce_steps;
   const std::size_t s = reducing ? step_ : step_ - reduce_steps;
-  const std::size_t send_chunk =
-      reducing ? (my_index_ + world_ - s) % world_
-               : (my_index_ + 1 + world_ - s) % world_;
-  const auto out = Chunk(send_chunk);
+  const std::size_t send_chunk = reducing
+                                     ? (pos_ + world_ - s) % world_
+                                     : (pos_ + 1 + world_ - s) % world_;
   net::Message msg;
   msg.tag = TagOf(step_);
-  msg.data = fabric_->Pool().Acquire(out.size());
-  std::copy(out.begin(), out.end(), msg.data.begin());
+  if (!reducing && s > 0) {
+    // All-gather forwards: pass the frame received last hop on verbatim.
+    // Re-encoding would apply quantization loss once per hop instead of
+    // once per chunk and break the all-ranks-identical guarantee.
+    RNA_CHECK_MSG(forward_.has_value(), "gather forward frame missing");
+    msg.data = std::move(*forward_);
+    forward_.reset();
+  } else {
+    msg.data = EncodeChunk(send_chunk);
+    if (!reducing && format_ != net::wire::Format::kRaw) {
+      // First gather hop: the chunk owner broadcasts its reduced chunk.
+      // Self-apply the lossy round-trip so the owner's copy is bitwise
+      // what every other rank will decode.
+      net::wire::Decode(format_, msg.data, Chunk(send_chunk),
+                        net::wire::Fold::kAssign, TailInChunk(send_chunk));
+    }
+  }
+  fabric_->CountWire(format_, Chunk(send_chunk).size() * sizeof(float),
+                     msg.data.size() * sizeof(float));
   fabric_->Send(self_, right_, std::move(msg));
   sent_ = true;
 }
@@ -101,7 +179,7 @@ bool RingPass::CompleteHop() {
   if (failed_) return false;
   if (Done()) return true;
   LaunchHop();
-  auto in = RecvHop(*fabric_, self_, TagOf(step_), hop_timeout_);
+  auto in = detail::RecvHop(*fabric_, self_, TagOf(step_), hop_timeout_);
   if (!in.has_value()) {
     failed_ = true;
     return false;
@@ -109,80 +187,23 @@ bool RingPass::CompleteHop() {
   const std::size_t reduce_steps = world_ - 1;
   const bool reducing = step_ < reduce_steps;
   const std::size_t s = reducing ? step_ : step_ - reduce_steps;
-  const std::size_t recv_chunk =
-      reducing ? (my_index_ + 2 * world_ - s - 1) % world_
-               : (my_index_ + 2 * world_ - s) % world_;
+  const std::size_t recv_chunk = reducing
+                                     ? (pos_ + 2 * world_ - s - 1) % world_
+                                     : (pos_ + 2 * world_ - s) % world_;
   const auto target = Chunk(recv_chunk);
-  RNA_CHECK_MSG(in->data.size() == target.size(),
-                "collective chunk size mismatch");
-  if (reducing) {
-    common::simd::AddInto(target, in->data);
+  net::wire::Decode(format_, in->data, target,
+                    reducing ? net::wire::Fold::kAdd
+                             : net::wire::Fold::kAssign,
+                    TailInChunk(recv_chunk));
+  if (!reducing && s + 1 < reduce_steps) {
+    // This frame is this rank's next gather send; keep it intact.
+    forward_ = std::move(in->data);
   } else {
-    std::copy(in->data.begin(), in->data.end(), target.begin());
+    fabric_->Pool().Recycle(std::move(in->data));
   }
-  fabric_->Pool().Recycle(std::move(in->data));
   ++step_;
   sent_ = false;
   return true;
-}
-
-bool RingAllreduceFor(net::Fabric& fabric, const Group& group,
-                      std::size_t my_index, std::span<float> data,
-                      int tag_base, common::Seconds hop_timeout) {
-  RingPass pass(fabric, group, my_index, data, tag_base, hop_timeout);
-  while (!pass.Done()) {
-    pass.LaunchHop();
-    if (!pass.CompleteHop()) return false;
-  }
-  return true;
-}
-
-void RingAllreduce(net::Fabric& fabric, const Group& group,
-                   std::size_t my_index, std::span<float> data, int tag_base) {
-  RNA_CHECK_MSG(RingAllreduceFor(fabric, group, my_index, data, tag_base,
-                                 /*hop_timeout=*/0.0),
-                "fabric shut down mid-collective");
-}
-
-PartialResult RingPartialAllreduce(net::Fabric& fabric, const Group& group,
-                                   std::size_t my_index, std::span<float> data,
-                                   bool contributes, int tag_base,
-                                   common::Seconds hop_timeout) {
-  // The contributor flag travels as one extra element appended to the
-  // payload, so a single ring pass reduces both gradient and Σw. The
-  // working buffer comes from the fabric pool — a round-per-millisecond
-  // protocol would otherwise allocate a gradient-sized vector per round.
-  std::vector<float> buffer = fabric.Pool().Acquire(data.size() + 1);
-  if (contributes) {
-    std::copy(data.begin(), data.end(), buffer.begin());
-    buffer.back() = 1.0f;
-  } else {
-    // Null gradient: keep the communication graph, contribute zeros.
-    std::fill(buffer.begin(), buffer.end(), 0.0f);
-  }
-
-  PartialResult result;
-  if (!RingAllreduceFor(fabric, group, my_index, buffer, tag_base,
-                        hop_timeout)) {
-    // Aborted mid-ring (member crash or shutdown): the partial sums are
-    // meaningless — zero the output and tell the caller to skip the step.
-    RNA_CHECK_MSG(hop_timeout > 0.0, "fabric shut down mid-collective");
-    std::fill(data.begin(), data.end(), 0.0f);
-    fabric.Pool().Recycle(std::move(buffer));
-    result.ok = false;
-    return result;
-  }
-  result.contributors =
-      static_cast<std::size_t>(std::lround(buffer.back()));
-  if (result.contributors > 0) {
-    const float w = 1.0f / static_cast<float>(result.contributors);
-    common::simd::ScaledCopy(
-        data, std::span<const float>(buffer.data(), data.size()), w);
-  } else {
-    std::fill(data.begin(), data.end(), 0.0f);
-  }
-  fabric.Pool().Recycle(std::move(buffer));
-  return result;
 }
 
 bool BroadcastFor(net::Fabric& fabric, const Group& group,
@@ -203,7 +224,7 @@ bool BroadcastFor(net::Fabric& fabric, const Group& group,
       fabric.Send(self, group.At(i), std::move(msg));
     }
   } else {
-    auto in = RecvHop(fabric, self, tag_base, timeout);
+    auto in = detail::RecvHop(fabric, self, tag_base, timeout);
     if (!in.has_value()) return false;
     RNA_CHECK_MSG(in->data.size() == data.size(), "broadcast size mismatch");
     std::copy(in->data.begin(), in->data.end(), data.begin());
@@ -231,7 +252,7 @@ bool BarrierFor(net::Fabric& fabric, const Group& group, std::size_t my_index,
   const auto deadline =
       common::SteadyClock::now() + common::FromSeconds(timeout);
   auto recv_step = [&](int tag) {
-    if (timeout <= 0.0) return RecvHop(fabric, self, tag, 0.0);
+    if (timeout <= 0.0) return detail::RecvHop(fabric, self, tag, 0.0);
     const common::Seconds left =
         common::ToSeconds(deadline - common::SteadyClock::now());
     if (left <= 0.0) return std::optional<net::Message>{};

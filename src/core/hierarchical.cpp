@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "protocol_impls.hpp"
+#include "rna/collectives/allreduce.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
@@ -142,6 +143,10 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       std::vector<float> params = init;
       std::vector<float> buffer(dim);
       nn::SgdMomentum& optimizer = workers[w]->Optimizer();
+      // Per-worker error-feedback residual for lossy compression; +1 for
+      // the partial collective's contributor-flag tail.
+      collectives::ErrorFeedback feedback;
+      feedback.EnsureSize(dim + 1);
       ps::PsClient ps_client(fabric, w, ps_rank);
       if (faulty) {
         ps_client.ConfigureRetry(config.fault.retry_budget,
@@ -226,15 +231,24 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           std::fill(buffer.begin(), buffer.end(), 0.0f);
         }
 
+        // The intra-group collective has no controller verdict feed, so
+        // kStragglar degrades to the plain ring here (straggler stays
+        // kNoStraggler); compression still applies.
+        collectives::CollectiveOptions opts;
+        opts.schedule = config.schedule;
+        opts.compression = config.compression;
+        opts.topk_fraction = config.topk_fraction;
+        opts.tag_base = tags::RingTag(round);
+        opts.hop_timeout = ring_timeout;
+        opts.feedback = &feedback;
         collectives::PartialResult reduced;
         {
           obs::ScopedTimer comm_timer(track, obs::Category::kComm,
                                       "partial_allreduce",
                                       &comm_times[w].comm);
           comm_timer.SetArg("round", static_cast<double>(round));
-          reduced = collectives::RingPartialAllreduce(
-              fabric, group, my_index, buffer, contributes,
-              tags::RingTag(round), ring_timeout);
+          reduced = collectives::PartialAllreduceFor(
+              {fabric, group, my_index}, opts, buffer, contributes);
           comm_timer.SetArg("contributors",
                             static_cast<double>(reduced.contributors));
         }

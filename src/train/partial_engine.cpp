@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "rna/collectives/allreduce.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/check.hpp"
 #include "rna/net/fabric.hpp"
@@ -147,6 +148,11 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       bool last_sent_valid = false;
       const bool stale_reuse =
           config.contribution == ContributionMode::kStaleReuse;
+      // Per-worker error-feedback residual for lossy compression; +1 for
+      // the partial collective's contributor-flag tail. Pre-sized so the
+      // hot loop never reallocates it.
+      collectives::ErrorFeedback feedback;
+      feedback.EnsureSize(dim + 1);
       bool died = false;  // fail-stop exit, distinct from session end
       for (;;) {
         std::optional<net::Message> go;
@@ -240,15 +246,36 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           std::fill(buffer.begin(), buffer.end(), 0.0f);  // null gradient
         }
 
+        collectives::CollectiveOptions opts;
+        opts.schedule = config.schedule;
+        opts.compression = config.compression;
+        opts.topk_fraction = config.topk_fraction;
+        opts.tag_base = tags::RingTag(round);
+        opts.hop_timeout = ring_timeout;
+        opts.feedback = &feedback;
+        if (config.schedule == collectives::Schedule::kStragglar &&
+            go->meta.size() > 1 && go->meta[1] > 0) {
+          // The controller's verdict names a rank; the schedule wants the
+          // straggler's position inside this round's membership. A verdict
+          // for a rank outside the round (it was dropped between the
+          // verdict and the Go) degrades to the plain ring.
+          const auto straggler_rank =
+              static_cast<net::Rank>(go->meta[1] - 1);
+          const auto it = std::find(group.members.begin(),
+                                    group.members.end(), straggler_rank);
+          if (it != group.members.end()) {
+            opts.straggler =
+                static_cast<std::size_t>(it - group.members.begin());
+          }
+        }
         collectives::PartialResult reduced;
         {
           obs::ScopedTimer comm_timer(track, obs::Category::kComm,
                                       "partial_allreduce",
                                       &comm_times[w].comm);
           comm_timer.SetArg("round", static_cast<double>(round));
-          reduced = collectives::RingPartialAllreduce(
-              fabric, group, my_index, buffer, contributes,
-              tags::RingTag(round), ring_timeout);
+          reduced = collectives::PartialAllreduceFor(
+              {fabric, group, my_index}, opts, buffer, contributes);
           comm_timer.SetArg("contributors",
                             static_cast<double>(reduced.contributors));
         }
@@ -377,6 +404,12 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     std::vector<bool> live(world, true);
     std::vector<std::size_t> miss_count(world, 0);
     std::vector<bool> responded(world, false);
+    // Consecutive rounds each rank reported without contributing a
+    // gradient — the controller's persistent-straggler evidence. Two or
+    // more misses in a row makes a rank the round's straggler verdict,
+    // which Schedule::kStragglar consumes to re-order the ring around it
+    // (a one-round miss is noise; skipping already covers it).
+    std::vector<std::size_t> skip_streak(world, 0);
 
     auto live_members = [&] {
       std::vector<net::Rank> members;
@@ -528,11 +561,23 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       round_timer.SetArg("round", static_cast<double>(round));
       {
         // Go carries the round's membership so every member builds the
-        // same ring.
+        // same ring, plus the straggler verdict in meta[1]: rank+1 of the
+        // live member with the longest ≥2-round non-contribution streak,
+        // or 0 when there is none. Every member sees the same verdict, so
+        // Schedule::kStragglar's permutation is identical ring-wide.
+        std::int64_t verdict = 0;
+        std::size_t best_streak = 1;
+        for (net::Rank m : members) {
+          if (skip_streak[m] > best_streak) {
+            best_streak = skip_streak[m];
+            verdict = static_cast<std::int64_t>(m) + 1;
+          }
+        }
+        if (verdict != 0) obs::CountMetric("round.straggler_verdicts");
         for (net::Rank m : members) {
           net::Message go;
           go.tag = tags::kGo;
-          go.meta = {static_cast<std::int64_t>(round), 0};
+          go.meta = {static_cast<std::int64_t>(round), verdict};
           for (net::Rank r : members) {
             go.meta.push_back(static_cast<std::int64_t>(r));
           }
@@ -586,7 +631,12 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           responded[src] = true;
           ++reports;
         }
-        if (!aborted && msg->meta[1] > 0) ++contributors;
+        if (!aborted && msg->meta[1] > 0) {
+          ++contributors;
+          skip_streak[src] = 0;
+        } else {
+          ++skip_streak[src];
+        }
       }
       report_timer.Stop();
       if (reports < members.size()) {

@@ -7,11 +7,19 @@
 
 #include <thread>
 
+#include "rna/collectives/allreduce.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/rng.hpp"
 
 namespace rna::collectives {
 namespace {
+
+/// CollectiveOptions with just a tag base — ring schedule, no compression.
+CollectiveOptions Opts(int tag_base) {
+  CollectiveOptions o;
+  o.tag_base = tag_base;
+  return o;
+}
 
 /// Runs `body(rank)` on `world` threads and joins them.
 void OnAllRanks(std::size_t world,
@@ -45,7 +53,7 @@ TEST(RingAllreduce, SumsAcrossRanks) {
     }
   }
   OnAllRanks(world, [&](std::size_t r) {
-    RingAllreduce(fabric, group, r, data[r], 1000);
+    Allreduce({fabric, group, r}, Opts(1000), data[r]);
   });
   for (std::size_t r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -59,7 +67,7 @@ TEST(RingAllreduce, SingleRankIsNoOp) {
   net::Fabric fabric(1);
   const Group group = Group::Full(1);
   std::vector<float> data = {1.0f, 2.0f};
-  RingAllreduce(fabric, group, 0, data, 1000);
+  Allreduce({fabric, group, 0}, Opts(1000), data);
   EXPECT_EQ(data[0], 1.0f);
 }
 
@@ -73,7 +81,7 @@ TEST(RingAllreduce, IdenticalResultOnAllRanks) {
     for (auto& x : v) x = static_cast<float>(rng.Normal(0, 1));
   }
   OnAllRanks(world, [&](std::size_t r) {
-    RingAllreduce(fabric, group, r, data[r], 1000);
+    Allreduce({fabric, group, r}, Opts(1000), data[r]);
   });
   for (std::size_t r = 1; r < world; ++r) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -90,7 +98,7 @@ TEST(RingAllreduce, SubgroupOfFabric) {
   group.members = {1, 3, 5};
   std::vector<std::vector<float>> data(3, std::vector<float>(8, 1.0f));
   OnAllRanks(3, [&](std::size_t idx) {
-    RingAllreduce(fabric, group, idx, data[idx], 1000);
+    Allreduce({fabric, group, idx}, Opts(1000), data[idx]);
   });
   for (const auto& v : data) {
     for (float x : v) EXPECT_FLOAT_EQ(x, 3.0f);
@@ -104,8 +112,8 @@ TEST(RingAllreduce, BackToBackRoundsWithParityTags) {
   std::vector<std::vector<float>> data(world, std::vector<float>(n, 1.0f));
   OnAllRanks(world, [&](std::size_t r) {
     for (std::size_t round = 0; round < 10; ++round) {
-      RingAllreduce(fabric, group, r, data[r],
-                    1000 + static_cast<int>(round % 2) * 100);
+      Allreduce({fabric, group, r},
+                Opts(1000 + static_cast<int>(round % 2) * 100), data[r]);
     }
   });
   // Each round multiplies every element by world: 3^10.
@@ -123,7 +131,7 @@ TEST(RingPartialAllreduce, AllContributeEqualsAverage) {
   std::vector<PartialResult> results(world);
   OnAllRanks(world, [&](std::size_t r) {
     results[r] =
-        RingPartialAllreduce(fabric, group, r, data[r], true, 1000);
+        PartialAllreduceFor({fabric, group, r}, Opts(1000), data[r], true);
   });
   for (std::size_t r = 0; r < world; ++r) {
     EXPECT_EQ(results[r].contributors, 4u);
@@ -146,7 +154,7 @@ TEST(RingPartialAllreduce, PartialParticipationReweights) {
   OnAllRanks(world, [&](std::size_t r) {
     const bool contributes = (r == 1 || r == 3);
     results[r] =
-        RingPartialAllreduce(fabric, group, r, data[r], contributes, 1000);
+        PartialAllreduceFor({fabric, group, r}, Opts(1000), data[r], contributes);
   });
   for (std::size_t r = 0; r < world; ++r) {
     EXPECT_EQ(results[r].contributors, 2u);
@@ -163,7 +171,7 @@ TEST(RingPartialAllreduce, NobodyContributesYieldsZeros) {
   std::vector<PartialResult> results(world);
   OnAllRanks(world, [&](std::size_t r) {
     results[r] =
-        RingPartialAllreduce(fabric, group, r, data[r], false, 1000);
+        PartialAllreduceFor({fabric, group, r}, Opts(1000), data[r], false);
   });
   for (std::size_t r = 0; r < world; ++r) {
     EXPECT_EQ(results[r].contributors, 0u);
@@ -212,7 +220,7 @@ TEST_P(AllreduceSweep, OnesSumToWorld) {
   const Group group = Group::Full(world);
   std::vector<std::vector<float>> data(world, std::vector<float>(n, 1.0f));
   OnAllRanks(world, [&](std::size_t r) {
-    RingAllreduce(fabric, group, r, data[r], 1000);
+    Allreduce({fabric, group, r}, Opts(1000), data[r]);
   });
   for (std::size_t r = 0; r < world; ++r) {
     for (float x : data[r]) {

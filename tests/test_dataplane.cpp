@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "rna/collectives/allreduce.hpp"
 #include "rna/collectives/fusion.hpp"
 #include "rna/collectives/ring.hpp"
 #include "rna/common/simd.hpp"
@@ -28,6 +29,16 @@ namespace rna {
 namespace {
 
 using collectives::Group;
+
+/// CollectiveOptions with just a tag base and optional per-hop deadline —
+/// ring schedule, no compression (the pre-policy data path).
+collectives::CollectiveOptions Opts(int tag_base,
+                                    common::Seconds hop_timeout = 0.0) {
+  collectives::CollectiveOptions o;
+  o.tag_base = tag_base;
+  o.hop_timeout = hop_timeout;
+  return o;
+}
 
 /// Bitwise float comparison: NaNs and signed zeros must match exactly too.
 ::testing::AssertionResult BitwiseEqual(std::span<const float> a,
@@ -156,7 +167,7 @@ std::vector<std::vector<float>> RunRing(std::size_t world, std::size_t n,
   std::vector<std::thread> threads;
   for (std::size_t r = 0; r < world; ++r) {
     threads.emplace_back([&, r] {
-      collectives::RingAllreduce(fabric, group, r, bufs[r], /*tag_base=*/10);
+      collectives::Allreduce({fabric, group, r}, Opts(10), bufs[r]);
     });
   }
   for (auto& t : threads) t.join();
@@ -194,9 +205,9 @@ std::vector<std::vector<float>> RunPartial(std::size_t world, std::size_t n,
   std::vector<std::thread> threads;
   for (std::size_t r = 0; r < world; ++r) {
     threads.emplace_back([&, r] {
-      const auto result = collectives::RingPartialAllreduce(
-          fabric, group, r, bufs[r], /*contributes=*/r % 2 == 0,
-          /*tag_base=*/10);
+      const auto result = collectives::PartialAllreduceFor(
+          {fabric, group, r}, Opts(10), bufs[r],
+          /*contributes=*/r % 2 == 0);
       counts[r] = result.contributors;
     });
   }
@@ -252,8 +263,8 @@ TEST(DataPlaneEquivalence, FusedMatchesPerBucketRingBitwise) {
       threads.emplace_back([&, r] {
         std::vector<float*> ptrs;
         for (auto& t : fused[r]) ptrs.push_back(t.data());
-        collectives::FusedAllreduce(fabric, group, r, specs, ptrs, plan,
-                                    /*tag_base=*/100);
+        collectives::FusedAllreduce({fabric, group, r}, Opts(100), specs,
+                                    ptrs, plan);
       });
     }
     for (auto& t : threads) t.join();
@@ -273,8 +284,7 @@ TEST(DataPlaneEquivalence, FusedMatchesPerBucketRingBitwise) {
     std::vector<std::thread> threads;
     for (std::size_t r = 0; r < world; ++r) {
       threads.emplace_back([&, r] {
-        collectives::RingAllreduce(fabric, group, r, concat[r],
-                                   /*tag_base=*/10);
+        collectives::Allreduce({fabric, group, r}, Opts(10), concat[r]);
       });
     }
     for (auto& t : threads) t.join();
@@ -308,8 +318,7 @@ TEST(EmptyChunks, RingCorrectWithWorldLargerThanData) {
     std::vector<std::thread> threads;
     for (std::size_t r = 0; r < world; ++r) {
       threads.emplace_back([&, r] {
-        collectives::RingAllreduce(fabric, group, r, bufs[r],
-                                   /*tag_base=*/10);
+        collectives::Allreduce({fabric, group, r}, Opts(10), bufs[r]);
       });
     }
     for (auto& t : threads) t.join();
@@ -357,8 +366,9 @@ TEST(EmptyChunks, SurviveDropDupDelayAndPurge) {
       for (int round = 0; round < kMaxRounds; ++round) {
         const int tag_base = round * 64;
         bufs[r].assign(n, 1.0f);
-        const bool ok = collectives::RingAllreduceFor(
-            fabric, group, r, bufs[r], tag_base, /*hop_timeout=*/0.25);
+        const bool ok = collectives::AllreduceFor(
+            {fabric, group, r}, Opts(tag_base, /*hop_timeout=*/0.25),
+            bufs[r]);
         if (ok) {
           ok_count.fetch_add(1);
         } else {
@@ -436,8 +446,7 @@ TEST(BufferPool, SteadyStateRingIsAllocationFree) {
     for (std::size_t r = 0; r < world; ++r) {
       threads.emplace_back([&, r] {
         std::vector<float> data(1024, 1.0f);
-        collectives::RingAllreduce(fabric, group, r, data,
-                                   /*tag_base=*/round * 16);
+        collectives::Allreduce({fabric, group, r}, Opts(round * 16), data);
       });
     }
     for (auto& t : threads) t.join();
@@ -495,8 +504,8 @@ TEST(BufferPool, PublishesMetricsOnShutdown) {
       threads.emplace_back([&, r] {
         std::vector<float> data(256, 1.0f);
         for (int round = 0; round < 3; ++round) {
-          collectives::RingAllreduce(fabric, group, r, data,
-                                     /*tag_base=*/round * 8);
+          collectives::Allreduce({fabric, group, r}, Opts(round * 8),
+                                 data);
         }
       });
     }
@@ -507,6 +516,83 @@ TEST(BufferPool, PublishesMetricsOnShutdown) {
   EXPECT_GT(registry.CounterValue("fabric.pool.hits"), 0);
   EXPECT_GT(registry.CounterValue("fabric.pool.bytes_reused"), 0);
   EXPECT_GT(registry.GaugeValue("fabric.pool.hit_rate"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Per-format wire accounting: Compression::kNone must put exactly the raw
+// payload bytes on the wire (no framing, no expansion — the pre-policy byte
+// stream), and the counters must reach the metrics registry at Shutdown.
+
+TEST(WireAccounting, RawRingAddsNoFramingOverhead) {
+  const std::size_t world = 4, n = 1024;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  std::vector<std::vector<float>> bufs(world, std::vector<float>(n, 1.0f));
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      collectives::Allreduce({fabric, group, r}, Opts(10), bufs[r]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto raw = fabric.WireStatsFor(net::wire::Format::kRaw);
+  // Each rank sends one chunk per reduce step and one per gather step:
+  // 2(w−1) chunks of n/w floats, across all w ranks.
+  EXPECT_EQ(raw.chunks, 2 * (world - 1) * world);
+  EXPECT_EQ(raw.raw_bytes,
+            2 * (world - 1) * world * (n / world) * sizeof(float));
+  EXPECT_EQ(raw.wire_bytes, raw.raw_bytes) << "kNone must not frame";
+  for (const auto f : {net::wire::Format::kFp16, net::wire::Format::kInt8,
+                       net::wire::Format::kTopK}) {
+    EXPECT_EQ(fabric.WireStatsFor(f).chunks, 0u);
+  }
+}
+
+TEST(WireAccounting, CompressedRingShrinksWireBytes) {
+  const std::size_t world = 4, n = 1024;
+  net::Fabric fabric(world);
+  const Group group = Group::Full(world);
+  collectives::CollectiveOptions opts = Opts(10);
+  opts.compression = collectives::Compression::kFp16;
+  std::vector<std::vector<float>> bufs(world, std::vector<float>(n, 1.0f));
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      collectives::Allreduce({fabric, group, r}, opts, bufs[r]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto fp16 = fabric.WireStatsFor(net::wire::Format::kFp16);
+  EXPECT_EQ(fp16.chunks, 2 * (world - 1) * world);
+  EXPECT_LT(fp16.wire_bytes, fp16.raw_bytes)
+      << "fp16 frames must be smaller than the raw payload";
+  EXPECT_EQ(fabric.WireStatsFor(net::wire::Format::kRaw).chunks, 0u);
+}
+
+TEST(WireAccounting, PublishesWireMetricsOnShutdown) {
+  obs::MetricsRegistry registry;
+  obs::SetActiveMetrics(&registry);
+  {
+    net::Fabric fabric(2);
+    const Group group = Group::Full(2);
+    collectives::CollectiveOptions lossy = Opts(64);
+    lossy.compression = collectives::Compression::kInt8;
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> data(256, 1.0f);
+        collectives::Allreduce({fabric, group, r}, Opts(8), data);
+        collectives::Allreduce({fabric, group, r}, lossy, data);
+      });
+    }
+    for (auto& t : threads) t.join();
+    fabric.Shutdown();
+  }
+  obs::SetActiveMetrics(nullptr);
+  EXPECT_GT(registry.CounterValue("fabric.wire.raw.chunks"), 0);
+  EXPECT_GT(registry.CounterValue("fabric.wire.int8.chunks"), 0);
+  EXPECT_GT(registry.CounterValue("fabric.wire.int8.raw_bytes"),
+            registry.CounterValue("fabric.wire.int8.wire_bytes"));
 }
 
 // ---------------------------------------------------------------------------
@@ -527,9 +613,9 @@ TEST(FusedAllreduceFor, TimesOutWhenAMemberIsAbsent) {
       data[r] = {std::vector<float>(32, 1.0f),
                  std::vector<float>(32, 2.0f)};
       std::vector<float*> ptrs = {data[r][0].data(), data[r][1].data()};
-      ok[r] = collectives::FusedAllreduceFor(fabric, group, r, specs, ptrs,
-                                             plan, /*tag_base=*/0,
-                                             /*hop_timeout=*/0.2)
+      ok[r] = collectives::FusedAllreduceFor(
+                  {fabric, group, r}, Opts(0, /*hop_timeout=*/0.2), specs,
+                  ptrs, plan)
                   ? 1
                   : 0;
     });

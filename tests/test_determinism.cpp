@@ -70,10 +70,8 @@ TrainerConfig LockstepConfig(Protocol protocol) {
   return c;
 }
 
-void ExpectIdenticalRuns(Protocol protocol) {
-  SCOPED_TRACE(ProtocolName(protocol));
+void ExpectIdenticalRunsWith(const TrainerConfig& config) {
   Scenario s = SmallScenario();
-  const TrainerConfig config = LockstepConfig(protocol);
   const TrainResult a = core::RunTraining(config, s.factory, s.train, s.val);
   const TrainResult b = core::RunTraining(config, s.factory, s.train, s.val);
 
@@ -88,6 +86,11 @@ void ExpectIdenticalRuns(Protocol protocol) {
   EXPECT_EQ(a.gradients_applied, b.gradients_applied);
   EXPECT_EQ(a.round_contributors, b.round_contributors);
   EXPECT_EQ(a.live_workers, b.live_workers);
+}
+
+void ExpectIdenticalRuns(Protocol protocol) {
+  SCOPED_TRACE(ProtocolName(protocol));
+  ExpectIdenticalRunsWith(LockstepConfig(protocol));
 }
 
 TEST(LockstepDeterminism, Horovod) { ExpectIdenticalRuns(Protocol::kHorovod); }
@@ -109,6 +112,41 @@ TEST(LockstepDeterminism, Sgp) { ExpectIdenticalRuns(Protocol::kSgp); }
 TEST(LockstepDeterminism, CentralizedPs) {
   ExpectIdenticalRuns(Protocol::kCentralizedPs);
 }
+
+// Every reduction schedule × wire compression combo must preserve the
+// lockstep-determinism property: the collective policy changes the wire
+// format and the hop graph, never the schedule-freedom of the run.
+using PolicyParam =
+    std::tuple<collectives::Schedule, collectives::Compression>;
+
+class PolicyDeterminism : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicyDeterminism, IdenticalRunsUnderRna) {
+  const auto [schedule, compression] = GetParam();
+  TrainerConfig config = LockstepConfig(Protocol::kRna);
+  config.schedule = schedule;
+  config.compression = compression;
+  config.topk_fraction = 0.25;
+  ExpectIdenticalRunsWith(config);
+}
+
+std::string PolicyName(const ::testing::TestParamInfo<PolicyParam>& info) {
+  const auto [schedule, compression] = info.param;
+  return std::string(collectives::ScheduleName(schedule)) + "_" +
+         collectives::CompressionName(compression);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScheduleByCompression, PolicyDeterminism,
+    ::testing::Combine(
+        ::testing::Values(collectives::Schedule::kRing,
+                          collectives::Schedule::kTree,
+                          collectives::Schedule::kStragglar),
+        ::testing::Values(collectives::Compression::kNone,
+                          collectives::Compression::kFp16,
+                          collectives::Compression::kInt8,
+                          collectives::Compression::kTopK)),
+    PolicyName);
 
 TEST(LockstepDeterminism, DifferentSeedsActuallyDiverge) {
   // Sanity check that the property above is not vacuous (e.g. a runner

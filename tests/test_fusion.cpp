@@ -103,7 +103,9 @@ TEST_P(FusedAllreduceSweep, MatchesUnfusedSum) {
     threads.emplace_back([&, r] {
       std::vector<float*> pointers;
       for (auto& tensor : data[r]) pointers.push_back(tensor.data());
-      FusedAllreduce(fabric, group, r, specs, pointers, plan, 1000);
+      CollectiveOptions opts;
+      opts.tag_base = 1000;
+      FusedAllreduce({fabric, group, r}, opts, specs, pointers, plan);
     });
   }
   for (auto& t : threads) t.join();

@@ -8,7 +8,7 @@
 #include <memory>
 #include <thread>
 
-#include "rna/collectives/ring.hpp"
+#include "rna/collectives/allreduce.hpp"
 #include "rna/core/rna.hpp"
 #include "rna/data/generators.hpp"
 #include "rna/net/fabric.hpp"
@@ -143,8 +143,10 @@ TEST_P(PartialMaskFuzz, MatchesReference) {
   std::vector<std::thread> threads;
   for (std::size_t w = 0; w < world; ++w) {
     threads.emplace_back([&, w] {
-      results[w] = collectives::RingPartialAllreduce(
-          fabric, group, w, data[w], contributes[w], 1000);
+      collectives::CollectiveOptions opts;
+      opts.tag_base = 1000;
+      results[w] = collectives::PartialAllreduceFor(
+          {fabric, group, w}, opts, data[w], contributes[w]);
     });
   }
   for (auto& t : threads) t.join();

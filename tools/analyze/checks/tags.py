@@ -96,7 +96,8 @@ class TagModel:
 def _load_model(root):
     model = TagModel()
     loaded = []
-    for rel in (config.TAGS_HEADER, config.FUSION_HEADER, config.PS_HEADER):
+    for rel in (config.TAGS_HEADER, config.FUSION_HEADER,
+                config.SCHEDULE_HEADER, config.PS_HEADER):
         p = Path(root) / rel
         if p.is_file():
             model.load_header(rel, p.read_text(errors="replace"))
@@ -194,6 +195,30 @@ def _numeric_findings(model):
                      f"a fused call at a RingTag base only fits {buckets} "
                      f"buckets inside one round's range (need "
                      f"{config.TAG_MIN_FUSED_BUCKETS_AT_W8} at world=8)")
+
+    # Schedule tag spans (schedule.hpp): every schedule must keep its pass
+    # inside the fusion bucket stride (or concurrent fused buckets collide)
+    # and inside one round's ring stride (or consecutive rounds collide).
+    for span_name in ("RingTagSpan", "TreeTagSpan"):
+        if span_name not in f:
+            continue
+        if "FusionTagStride" in f:
+            for world in (1, 2, 3, 8, 64, 1024, config.TAG_MIN_WORLD * 2):
+                span = f[span_name](world)
+                stride = f["FusionTagStride"](world)
+                if span > stride:
+                    fail(span_name,
+                         f"{span_name}({world})={span} exceeds "
+                         f"FusionTagStride({world})={stride}; concurrent "
+                         "fused buckets would collide under that schedule")
+        if ring_stride is not None:
+            span = f[span_name](config.TAG_MIN_WORLD)
+            if span > ring_stride:
+                fail(span_name,
+                     f"{span_name}({config.TAG_MIN_WORLD})={span} exceeds "
+                     f"kRingStride={ring_stride}; round-indexed tag bases "
+                     f"are no longer round-unique at world="
+                     f"{config.TAG_MIN_WORLD}")
     return findings
 
 

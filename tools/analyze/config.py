@@ -14,13 +14,15 @@ from fnmatch import fnmatchcase
 HEAP_ENTRY_PATTERNS = (
     "rna::nn::*::ForwardBackward",
     "rna::nn::*::Evaluate",
-    "rna::collectives::RingAllreduceFor",
-    "rna::collectives::RingPartialAllreduce",
+    "rna::collectives::AllreduceFor",
+    "rna::collectives::PartialAllreduceFor",
     "rna::collectives::FusedAllreduceFor",
     "rna::collectives::BroadcastFor",
     "rna::collectives::BarrierFor",
     "rna::collectives::RingPass::LaunchHop",
     "rna::collectives::RingPass::CompleteHop",
+    "rna::collectives::TreePass::LaunchHop",
+    "rna::collectives::TreePass::CompleteHop",
 )
 
 # Sanctioned allocation routers: traversal does not descend into these and
@@ -44,6 +46,11 @@ HEAP_BOUNDARY_PATTERNS = (
     # though ZeroGrads reaches them from ForwardBackward.
     "rna::nn::*::Params",
     "rna::nn::*::Grads",
+    # Error-feedback residuals grow once per (bucket, size) on the first
+    # pass and are steady-state stable after warm-up (passes only call
+    # EnsureSize when the buffer is too small); the wire codec itself
+    # stages through BufferPool.
+    "rna::collectives::ErrorFeedback::EnsureSize",
 )
 
 # -- timed-recv --------------------------------------------------------------
@@ -83,6 +90,7 @@ RECV_SINK_OWNERS = (
 
 TAGS_HEADER = "src/train/include/rna/train/tags.hpp"
 FUSION_HEADER = "src/collectives/include/rna/collectives/fusion.hpp"
+SCHEDULE_HEADER = "src/collectives/include/rna/collectives/schedule.hpp"
 PS_HEADER = "src/ps/include/rna/ps/server.hpp"
 
 # Guarantees the protocols rely on (see tags.hpp comments): ring tags must
@@ -103,6 +111,7 @@ TAG_SCAN_PREFIXES = (
 # plumbing parameter carrying a caller-validated base.
 TAG_FAMILY_TOKENS = (
     "RingTag", "GroupCastTag", "BarrierTag", "TagOf", "FusionTagStride",
+    "RingTagSpan", "TreeTagSpan",
 )
 TAG_PLUMBING_TOKENS = (
     "tag_base", "tag", "push_tag", "tag_lo", "tag_hi", "base",

@@ -35,6 +35,13 @@ ABSOLUTE_FLOORS = {
         # comes from the pool once it is warm.
         "pool_hit_rate": 0.9,
     },
+    # Lossy wire compression must not break convergence: every lockstep
+    # protocol x compression run in bench_collective_policy has to end at or
+    # below its loss target (reached_target is 1.0/0.0 and, being a pure
+    # function of the seeds under lockstep, machine-independent).
+    **{f"train_{proto}_{comp}": {"reached_target": 1.0}
+       for proto in ("horovod", "rna")
+       for comp in ("none", "fp16", "int8", "topk")},
 }
 
 # Lower-is-better keys gated as current <= ceiling.
@@ -47,6 +54,15 @@ ABSOLUTE_CEILINGS = {
     # allocation after warm-up is a regression regardless of throughput.
     **{f"train_step_{kind}": {"steady_heap_allocs": 0.0}
        for kind in ("mlp", "lstm", "deep-lstm", "transformer", "attention")},
+    # Wire bytes per round are a deterministic function of the codec (world
+    # 8, 256k floats, 2*(w-1)*w chunks per round), so these hold each
+    # compression level to its exact frame budget: raw adds zero framing
+    # overhead, fp16 halves the payload, int8 quarters it, and top-k at 5%
+    # ships ~1/10th. Any header growth or framing leak trips the gate.
+    "comp_none_w8_256k": {"wire_bytes_per_round": 14680064.0},
+    "comp_fp16_w8_256k": {"wire_bytes_per_round": 7341376.0},
+    "comp_int8_w8_256k": {"wire_bytes_per_round": 3671360.0},
+    "comp_topk_w8_256k": {"wire_bytes_per_round": 1469888.0},
 }
 
 
@@ -124,6 +140,10 @@ BASE_SAMPLE = {
         {"label": "pingpong", "roundtrips_per_s": 5000.0, "note_count": 3.0},
         {"label": "train_step_mlp", "steps_per_s": 3000.0,
          "steady_heap_allocs": 0.0},
+        {"label": "comp_int8_w8_256k", "time_per_round_s": 0.02,
+         "wire_bytes_per_round": 3671360.0},
+        {"label": "train_rna_int8", "final_loss": 0.03,
+         "reached_target": 1.0},
     ],
 }
 
@@ -179,13 +199,20 @@ def self_test():
     # is required, not optional).
     run(lambda c: c["rows"][2].pop("steady_heap_allocs"),
         expect_problems=True)
+    # A single extra wire byte per round breaks the compression ceiling —
+    # the frame budget is exact, not throughput-relative.
+    run(lambda c: c["rows"][3].__setitem__("wire_bytes_per_round", 3671361.0),
+        expect_problems=True)
+    # A lossy-compression run that misses its loss target fails outright.
+    run(lambda c: c["rows"][4].__setitem__("reached_target", 0.0),
+        expect_problems=True)
 
     if failures:
         print("bench_gate self-test FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("bench_gate self-test OK (10 cases)")
+    print("bench_gate self-test OK (12 cases)")
     return 0
 
 
