@@ -8,6 +8,7 @@
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
+#include "rna/ps/sharded.hpp"
 #include "rna/train/fault.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
@@ -29,8 +30,18 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
                              const data::Dataset& val_data) {
   const std::size_t world = config.world;
   RNA_CHECK_MSG(world >= 1, "need at least one worker");
-  const net::Rank server_rank = world;
-  net::Fabric fabric(world + 1);
+
+  auto workers = MakeWorkers(config, factory, train_data);
+  const std::size_t dim = workers[0]->Dim();
+  const std::vector<float> init = InitialParams(config, factory);
+
+  // The model is range-sharded over ps_shards independent server
+  // endpoints [world, world + shards); workers stripe their push/pulls
+  // (ShardedPsClient), which splits the single-endpoint hotspot.
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(1, config.ps_shards), dim);
+  const net::Rank first_server = world;
+  net::Fabric fabric(world + shards);
 
   FaultRuntime faults(config);
   if (auto plan = BuildFaultPlan(config)) {
@@ -42,17 +53,25 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
   // order, so deltas reach the server in a replayable sequence.
   RoundRobinGate gate(world);
 
-  auto workers = MakeWorkers(config, factory, train_data);
-  const std::size_t dim = workers[0]->Dim();
-  const std::vector<float> init = InitialParams(config, factory);
-
-  ps::ParameterServer server(fabric, server_rank, init);
-  server.Start();
+  std::vector<std::unique_ptr<ps::ParameterServer>> servers;
+  servers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto begin = static_cast<std::ptrdiff_t>(
+        ps::ShardFirst(dim, shards, s));
+    const auto end = static_cast<std::ptrdiff_t>(
+        ps::ShardLast(dim, shards, s));
+    std::vector<float> slice(init.begin() + begin, init.begin() + end);
+    servers.push_back(std::make_unique<ps::ParameterServer>(
+        fabric, first_server + s, std::move(slice)));
+    servers.back()->Start();
+  }
 
   ParamBoard board(init);
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> rounds_done{0};
   std::atomic<std::size_t> gradients{0};
+  std::atomic<std::size_t> workers_joined{0};
+  std::atomic<std::size_t> workers_left{0};
 
   EvalMonitor monitor(config, factory, val_data);
   monitor.Start(board, stop, rounds_done);
@@ -67,7 +86,7 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
     threads.emplace_back([&, w] {
       const obs::TrackHandle track =
           obs::RegisterTrack(obs::WorkerTrack(w, "ps"));
-      ps::PsClient client(fabric, w, server_rank);
+      ps::ShardedPsClient client(fabric, w, first_server, shards, dim);
       if (faulty) {
         client.ConfigureRetry(config.fault.retry_budget,
                               config.fault.retry_timeout_s);
@@ -76,10 +95,54 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
       std::vector<float> grad(dim);
       std::vector<float> delta(dim);
       const auto lr = static_cast<float>(config.sgd.learning_rate);
+      // Elastic schedule (lockstep-only, per Validate): a pending rank
+      // passes its gate turns without computing, pulls the current model
+      // at its join iteration, and a leaver retires cleanly at its leave
+      // iteration — the rotation stays deterministic throughout.
+      std::size_t join_at = 0;
+      std::size_t leave_at = ElasticSchedule::kNever;
+      for (const ElasticSchedule& e : config.elastic) {
+        if (e.rank == w) {
+          join_at = e.join_at_round;
+          leave_at = e.leave_at_round;
+        }
+      }
+      bool joined = join_at == 0;
 
       for (std::size_t iter = 0; iter < config.max_rounds && !stop.load();
            ++iter) {
         if (lockstep && !gate.AcquireTurn(w)) break;
+        if (iter >= leave_at) {
+          obs::CountMetric("elastic.leaves");
+          workers_left.fetch_add(1);
+          if (lockstep) gate.ReleaseTurn(w);
+          break;  // gate.Retire below removes w from the rotation
+        }
+        if (!joined) {
+          if (iter < join_at) {
+            if (lockstep) gate.ReleaseTurn(w);
+            continue;  // pending: pass the turn, keep the rotation intact
+          }
+          // Join: adopt the server's current model before contributing.
+          bool pulled_ok = true;
+          if (faulty) {
+            if (auto pulled = client.TryPull()) {
+              params = std::move(*pulled);
+            } else {
+              pulled_ok = false;  // budget exhausted: retry next turn
+              obs::CountMetric("fault.ps_sync_skipped");
+            }
+          } else {
+            params = client.Pull();
+          }
+          if (pulled_ok) {
+            joined = true;
+            obs::CountMetric("elastic.joins");
+            workers_joined.fetch_add(1);
+          }
+          if (lockstep) gate.ReleaseTurn(w);
+          continue;  // first gradient computes against the joined model
+        }
         if (faulty && faults.BeforeIteration(w, workers[w]->Iterations()) ==
                           IterationFate::kCrash) {
           faults.Kill(w);
@@ -124,14 +187,21 @@ TrainResult RunCentralizedPs(const TrainerConfig& config,
   const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
 
-  const std::vector<float> final_params = server.Snapshot();
-  server.Stop();
+  std::vector<float> final_params;
+  final_params.reserve(dim);
+  for (auto& server : servers) {
+    const std::vector<float> shard = server->Snapshot();
+    final_params.insert(final_params.end(), shard.begin(), shard.end());
+    server->Stop();
+  }
 
   TrainResult result;
   result.wall_seconds = wall_s;
   result.rounds = rounds_done.load();
   result.gradients_applied = gradients.load();
   result.live_workers = faults.LiveCount();
+  result.workers_joined = workers_joined.load();
+  result.workers_left = workers_left.load();
   result.reached_target = monitor.ReachedTarget();
   result.early_stopped = monitor.EarlyStopped();
   result.curve = monitor.Curve();

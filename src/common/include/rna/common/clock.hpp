@@ -5,6 +5,7 @@
 // double seconds to keep arithmetic with workload models simple.
 
 #include <chrono>
+#include <ctime>
 #include <thread>
 
 namespace rna::common {
@@ -32,6 +33,36 @@ inline SteadyClock::duration FromSeconds(Seconds s) {
 inline void SleepFor(Seconds s) {
   if (s > 0.0) std::this_thread::sleep_for(FromSeconds(s));
 }
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID).
+/// For busy-time accounting that must mean "work done": a thread that is
+/// descheduled accrues no CPU time, so the figure stays comparable when
+/// hundreds of threads oversubscribe the cores (where wall-clock sections
+/// would mostly measure preemption).
+inline Seconds ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<Seconds>(ts.tv_sec) +
+         1e-9 * static_cast<Seconds>(ts.tv_nsec);
+#else
+  return ToSeconds(SteadyClock::now().time_since_epoch());
+#endif
+}
+
+/// RAII delta of ThreadCpuSeconds() added to `*acc` on destruction.
+class ScopedCpuAccumulator {
+ public:
+  explicit ScopedCpuAccumulator(Seconds* acc)
+      : acc_(acc), start_(ThreadCpuSeconds()) {}
+  ScopedCpuAccumulator(const ScopedCpuAccumulator&) = delete;
+  ScopedCpuAccumulator& operator=(const ScopedCpuAccumulator&) = delete;
+  ~ScopedCpuAccumulator() { *acc_ += ThreadCpuSeconds() - start_; }
+
+ private:
+  Seconds* acc_;
+  Seconds start_;
+};
 
 /// Simple wall-clock stopwatch.
 class Stopwatch {

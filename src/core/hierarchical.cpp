@@ -1,5 +1,8 @@
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <numeric>
+#include <span>
 #include <thread>
 
 #include "protocol_impls.hpp"
@@ -11,9 +14,12 @@
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/ps/server.hpp"
+#include "rna/ps/sharded.hpp"
 #include "rna/sim/workload.hpp"
 #include "rna/train/fault.hpp"
+#include "rna/train/membership.hpp"
 #include "rna/train/monitor.hpp"
+#include "rna/train/sharding.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
 #include "rna/train/worker.hpp"
@@ -24,12 +30,25 @@ using namespace rna::train;
 
 // Hierarchical synchronization (§4): workers are partitioned into
 // speed-homogeneous groups by the recursive ζ>v rule over calibrated
-// iteration times. Each group runs RNA internally with its own controller;
-// each PS-sync round the group leader PushPulls the group model through a
-// central parameter server (model averaging) and broadcasts the result
-// inside the group. Groups never barrier against each other — the PS serves
-// them asynchronously in arrival order, which is what defuses the
-// deterministic slowdown that defeats purely probabilistic approaches.
+// iteration times (optionally size-capped for large worlds). Each group
+// runs RNA internally with its own controller; each PS-sync round the
+// group leader PushPulls the group model through the parameter-server
+// layer (model averaging) and broadcasts the result inside the group.
+// Groups never barrier against each other — the PS serves them
+// asynchronously in arrival order, which is what defuses the deterministic
+// slowdown that defeats purely probabilistic approaches.
+//
+// Scale-out structure (this file's additions over the flat engine):
+//   * the PS layer is a recursive tree of nodes with bounded fan-in
+//     (BuildPsTree): leaders talk to their leaf node, and every non-root
+//     node periodically folds its state into its parent, so no endpoint
+//     serves more than ps_fan_in direct children;
+//   * each node is range-sharded into ps_shards independent servers;
+//     leaders stripe push/pulls across the shards (ShardedPsClient);
+//   * every group controller keeps a sharded ReadinessBoard and a
+//     MembershipDirectory, so per-round controller work is O(group), with
+//     O(1) trigger decisions, and membership is elastic (scheduled joins
+//     and leaves re-form the group ring without a restart).
 //
 // Fault model (see DESIGN.md): membership travels in every Go message, the
 // round's lowest-ranked survivor acts as group leader (PS sync + broadcast
@@ -75,7 +94,8 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       iter_times[w] = workers[w]->MeasureIterationTime(init, calib);
     }
   }
-  const std::vector<std::size_t> group_of = ComputeSpeedGroups(iter_times);
+  const std::vector<std::size_t> group_of =
+      ComputeSpeedGroupsCapped(iter_times, config.max_group_size);
   std::size_t num_groups = 0;
   for (std::size_t g : group_of) num_groups = std::max(num_groups, g + 1);
   obs::SetGauge("hier.groups", static_cast<double>(num_groups));
@@ -85,10 +105,21 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
     groups[group_of[w]].members.push_back(w);
   }
 
-  // Endpoint layout: [workers | group controllers | parameter server].
+  // ---- parameter-server layer: tree of range-sharded nodes ---------------
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(1, config.ps_shards), dim);
+  const PsTree tree = BuildPsTree(num_groups, config.ps_fan_in);
+  const std::size_t num_nodes = tree.nodes.size();
+  obs::SetGauge("hier.ps_nodes", static_cast<double>(num_nodes));
+  obs::SetGauge("hier.ps_shards", static_cast<double>(shards));
+
+  // Endpoint layout: [workers | group controllers | node-major PS shards].
   const net::Rank first_controller = world;
-  const net::Rank ps_rank = world + num_groups;
-  net::Fabric fabric(world + num_groups + 1);
+  const net::Rank first_ps = world + num_groups;
+  auto ps_rank_of = [&](std::size_t node, std::size_t s) {
+    return first_ps + node * shards + s;
+  };
+  net::Fabric fabric(world + num_groups + num_nodes * shards);
 
   FaultRuntime faults(config);
   if (auto plan = BuildFaultPlan(config)) {
@@ -103,15 +134,48 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   // paper's design).
   RoundRobinGate ps_gate(num_groups);
 
-  ps::ParameterServer server(fabric, ps_rank, init);
-  server.Start();
+  // Parents precede children in BuildPsTree's id order, so starting in id
+  // order (and stopping in reverse) means a child's parent sync always
+  // finds its parent serving.
+  std::vector<std::unique_ptr<ps::ParameterServer>> servers;
+  servers.reserve(num_nodes * shards);
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto begin =
+          static_cast<std::ptrdiff_t>(ShardBegin(dim, shards, s));
+      const auto end = static_cast<std::ptrdiff_t>(ShardEnd(dim, shards, s));
+      std::vector<float> slice(init.begin() + begin, init.begin() + end);
+      auto server = std::make_unique<ps::ParameterServer>(
+          fabric, ps_rank_of(node, s), std::move(slice));
+      if (tree.nodes[node].parent != node) {
+        server->ConfigureParent(
+            ps_rank_of(tree.nodes[node].parent, s),
+            config.ps_parent_sync_every,
+            faulty ? config.fault.retry_budget : 1,
+            config.fault.retry_timeout_s);
+      }
+      server->Start();
+      servers.push_back(std::move(server));
+    }
+  }
 
   std::vector<std::unique_ptr<GradientStage>> stages;
   for (std::size_t w = 0; w < world; ++w) {
     stages.push_back(std::make_unique<GradientStage>(
         dim, config.staleness_bound, config.combine));
   }
+  // The monitor's board (published by rank 0's group) plus one board per
+  // group for the compute threads: a group's gradients are computed against
+  // its *own* leader's model, never another group's — cross-group model
+  // flow goes through the PS layer only. Under lockstep that keeps every
+  // group's compute inputs on its own deterministic round boundary (a
+  // shared board would race on the publishing group's timing).
   ParamBoard board(init);
+  std::vector<std::unique_ptr<ParamBoard>> group_boards;
+  group_boards.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    group_boards.push_back(std::make_unique<ParamBoard>(init));
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<bool> global_stop{false};
@@ -119,6 +183,16 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   std::atomic<std::size_t> batches_applied{0};
   // Written only by rank 0's group controller, read after joins.
   std::vector<std::size_t> round_contributors;
+  // One membership directory and busy-time slot per group controller;
+  // each is single-writer (its controller thread), read after join().
+  std::vector<std::unique_ptr<MembershipDirectory>> directories;
+  directories.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    directories.push_back(std::make_unique<MembershipDirectory>(
+        groups[g].members, config.elastic));
+  }
+  std::vector<common::Seconds> ctrl_busy(num_groups, 0.0);
+  std::vector<std::size_t> ctrl_msgs(num_groups, 0);
 
   EvalMonitor monitor(config, factory, val_data);
   monitor.Start(board, stop, rounds_done);
@@ -147,12 +221,14 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
       // the partial collective's contributor-flag tail.
       collectives::ErrorFeedback feedback;
       feedback.EnsureSize(dim + 1);
-      ps::PsClient ps_client(fabric, w, ps_rank);
+      ps::ShardedPsClient ps_client(fabric, w, ps_rank_of(tree.leaf_of[g], 0),
+                                    shards, dim);
       if (faulty) {
         ps_client.ConfigureRetry(config.fault.retry_budget,
                                  config.fault.retry_timeout_s);
       }
-      bool died = false;
+      bool died = false;  // fail-stop exit, distinct from session end
+      bool left = false;  // clean elastic departure, also not session end
       for (;;) {
         std::optional<net::Message> go;
         {
@@ -175,7 +251,13 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           died = faulty && !faults.Alive(w);
           break;
         }
-        if (go->meta.empty() || go->meta[0] < 0) break;
+        if (go->meta.empty() || go->meta[0] < 0) {
+          // Session over — or, with meta[1]==2, a personal exit for this
+          // rank's scheduled elastic leave (the rest of the group keeps
+          // training).
+          left = go->meta.size() > 1 && go->meta[1] == 2;
+          break;
+        }
         const auto round = static_cast<std::size_t>(go->meta[0]);
 
         if (faults.ShouldCrashInRound(w, round)) {
@@ -194,14 +276,57 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           break;
         }
 
-        // Round membership (survivors of this group) from the Go.
+        // Round membership (survivors of this group) travels in the Go:
+        // [round, verdict, member count, members..., joiners...]; a legacy
+        // two-entry shape means the full group. A rank in the joiner tail
+        // is not yet a ring member — it receives the round leader's state
+        // transfer instead.
         collectives::Group group;
+        std::vector<net::Rank> joiners;
         if (go->meta.size() > 2) {
-          for (std::size_t i = 2; i < go->meta.size(); ++i) {
-            group.members.push_back(static_cast<net::Rank>(go->meta[i]));
+          const auto member_count = static_cast<std::size_t>(go->meta[2]);
+          for (std::size_t i = 3; i < go->meta.size(); ++i) {
+            const auto r = static_cast<net::Rank>(go->meta[i]);
+            if (i - 3 < member_count) {
+              group.members.push_back(r);
+            } else {
+              joiners.push_back(r);
+            }
           }
         } else {
           group = full_group;
+        }
+        if (std::find(joiners.begin(), joiners.end(), w) != joiners.end()) {
+          // Joining rank: install the leader's replica (params ‖ velocity,
+          // LR bit-cast into the meta) and acknowledge with a synced
+          // report, so the controller activates this rank next round with
+          // a state bitwise-identical to every group member's.
+          std::optional<net::Message> state;
+          if (faulty) {
+            state = fabric.RecvFor(w, tags::JoinStateTag(round),
+                                   config.fault.collective_timeout_s);
+          } else {
+            state = fabric.Recv(  // analyze:allow(timed-recv)
+                w, tags::JoinStateTag(round));
+          }
+          bool synced = false;
+          if (state.has_value() && state->data.size() == 2 * dim &&
+              state->meta.size() > 1) {
+            std::copy(state->data.begin(), state->data.begin() + dim,
+                      params.begin());
+            optimizer.SetVelocity(
+                std::span<const float>(state->data.data() + dim, dim));
+            optimizer.SetLearningRate(std::bit_cast<double>(state->meta[1]));
+            fabric.Pool().Recycle(std::move(state->data));
+            synced = true;
+            obs::CountMetric("elastic.join_syncs");
+          }
+          net::Message report;
+          report.tag = tags::kRoundEnd;
+          // meta: [round, consumed=0, aborted=0, synced flag]
+          report.meta = {go->meta[0], 0, 0, synced ? 1 : 0};
+          fabric.Send(w, my_controller, std::move(report));
+          continue;
         }
         const auto member_it =
             std::find(group.members.begin(), group.members.end(), w);
@@ -267,11 +392,12 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           optimizer.Step(params, buffer, scale);
         }
 
-        // Asynchronous cross-group averaging through the PS (§4 phases
-        // 2–3): the round's leader pushes the group model, pulls back the
-        // running average, and broadcasts it within the group. Skipped
-        // after an aborted collective (the group model is stale, not
-        // wrong — the next sync folds it in).
+        // Asynchronous cross-group averaging through the PS tree (§4
+        // phases 2–3): the round's leader stripes the group model across
+        // its leaf node's shards, pulls back the running average, and
+        // broadcasts it within the group. Skipped after an aborted
+        // collective (the group model is stale, not wrong — the next sync
+        // folds it in).
         if (reduced.ok && config.ps_sync_every > 0 &&
             round % config.ps_sync_every == 0) {
           if (leader) {
@@ -314,10 +440,34 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           if (!cast_ok) obs::CountMetric("fault.broadcast_timeouts");
         }
 
-        // The lowest-ranked survivor of rank 0's group publishes for the
-        // monitor.
-        if (g == group_of[0] && leader) {
-          board.Publish(params, static_cast<std::int64_t>(round) + 1);
+        // Every round's leader publishes the group model for its group's
+        // compute threads; the lowest-ranked survivor of rank 0's group
+        // also publishes for the monitor.
+        if (leader) {
+          group_boards[g]->Publish(params,
+                                   static_cast<std::int64_t>(round) + 1);
+          if (g == group_of[0]) {
+            board.Publish(params, static_cast<std::int64_t>(round) + 1);
+          }
+        }
+        if (leader && !joiners.empty()) {
+          // Group leader ships its post-sync replica to each joining rank
+          // (params ‖ velocity in the pooled payload, LR in the meta).
+          // Re-sent every round a joiner stays syncing, so a transfer
+          // lost to a fault is retried by the next leader.
+          const std::span<const float> velocity = optimizer.Velocity();
+          for (const net::Rank j : joiners) {
+            net::Message state;
+            state.tag = tags::JoinStateTag(round);
+            state.meta = {go->meta[0],
+                          std::bit_cast<std::int64_t>(
+                              optimizer.LearningRate())};
+            state.data = fabric.Pool().Acquire(2 * dim);
+            std::copy(params.begin(), params.end(), state.data.begin());
+            std::copy(velocity.begin(), velocity.end(),
+                      state.data.begin() + dim);
+            fabric.Send(w, j, std::move(state));
+          }
         }
 
         net::Message report;
@@ -328,7 +478,9 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
                        reduced.ok ? 0 : 1};
         fabric.Send(w, my_controller, std::move(report));
       }
-      if (!died) global_stop.store(true);
+      // A leaver or a crash must not end the session; only the shared exit
+      // Go (or a fabric shutdown) does.
+      if (!died && !left) global_stop.store(true);
       final_params[w] = std::move(params);
     });
   }
@@ -355,7 +507,14 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           std::optional<net::Message> token;
           while (!(token = fabric.RecvFor(w, tags::kStep, 0.05))
                       .has_value()) {
-            if (global_stop.load() || fabric.IsClosed(w)) return;
+            // Lossless lockstep: global_stop only means *some* group
+            // finished its rounds; this group's controller still owes an
+            // exit token, so keep waiting for it (abandoning here would
+            // leave the controller's step/ack handshake short and make
+            // the tail rounds of slower groups racy).
+            if (fabric.IsClosed(w) || (faulty && global_stop.load())) {
+              return;
+            }
           }
           if (token->meta.empty() || token->meta[0] < 0) return;
           if (!faults.Alive(w)) return;
@@ -364,7 +523,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
             crash_now(token->meta[0]);
             return;
           }
-          seen = board.ReadIfNewer(seen, &params);
+          seen = group_boards[group_of[w]]->ReadIfNewer(seen, &params);
           workers[w]->ComputeGradient(params, grad);
           stages[w]->Write(grad,
                            static_cast<std::int64_t>(workers[w]->Iterations()));
@@ -382,7 +541,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
             return;
           }
         }
-        seen = board.ReadIfNewer(seen, &params);
+        seen = group_boards[group_of[w]]->ReadIfNewer(seen, &params);
         workers[w]->ComputeGradient(params, grad);
         const bool grew = stages[w]->Write(
             grad, static_cast<std::int64_t>(workers[w]->Iterations()));
@@ -404,36 +563,31 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           "group" + std::to_string(g) + "/controller");
       const collectives::Group& group = groups[g];
       const std::size_t group_size = group.Size();
+      MembershipDirectory& directory = *directories[g];
       common::Rng rng(config.seed + 9101 + 7 * g);
       auto policy = MakeProbePolicy(config.probe_choices);
-      std::vector<std::int64_t> ready(group_size, 0);
-      std::vector<bool> live(group_size, true);
+      // Group-local sharded readiness aggregate, indexed by group index.
+      ReadinessBoard readiness(group_size);
       std::vector<std::size_t> miss_count(group_size, 0);
       std::vector<bool> responded(group_size, false);
 
       auto index_of = [&](net::Rank rank) { return group.IndexOf(rank); };
-      auto live_members = [&] {
-        std::vector<net::Rank> members;
-        for (std::size_t i = 0; i < group_size; ++i) {
-          if (live[i]) members.push_back(group.At(i));
-        }
-        return members;
-      };
       auto note_goodbye = [&](net::Rank src, std::size_t round) {
-        const std::size_t idx = index_of(src);
-        if (!live[idx]) return;
-        live[idx] = false;
+        if (!directory.Manages(src)) return;
+        const MemberState was = directory.StateOf(src);
+        if (was == MemberState::kDead || was == MemberState::kLeft) return;
+        directory.OnDead(src);
         faults.Kill(src);
-        ready[idx] = 0;
+        readiness.Clear(index_of(src));
         obs::CountMetric("fault.controller.deaths");
         obs::ScopedTimer death_span(track, obs::Category::kFault,
                                     "worker_death");
         death_span.SetArg("rank", static_cast<double>(src));
         death_span.SetArg("round", static_cast<double>(round));
       };
+      const net::Rank self = first_controller + g;
       auto broadcast_exit = [&] {
         for (std::size_t i = 0; i < group_size; ++i) {
-          const net::Rank self = first_controller + g;
           net::Message go;
           go.tag = tags::kGo;
           go.meta = {-1, 1};
@@ -444,29 +598,74 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           fabric.Send(self, group.At(i), std::move(step));
         }
       };
-      const net::Rank self = first_controller + g;
 
+      // Under lossless lockstep every group's controller runs its full
+      // round schedule: global_stop only records that another group's
+      // session ended first, and honoring it here would make the number
+      // of rounds (and so the batch accounting) of the remaining groups
+      // depend on cross-group thread timing. The monitor's `stop` (early
+      // target) still ends the loop; faulty runs keep the abort path.
+      const bool lossless_lockstep = lockstep && !faulty;
+      auto session_over = [&] {
+        return stop.load() || (!lossless_lockstep && global_stop.load());
+      };
       std::size_t round = 0;
-      for (; round < config.max_rounds && !global_stop.load(); ++round) {
-        std::vector<net::Rank> members = live_members();
+      for (; round < config.max_rounds && !session_over(); ++round) {
+        std::vector<net::Rank> members;
+        std::vector<net::Rank> joiners;
+        {
+          // Busy time is accounted in thread-CPU seconds, not wall time:
+          // with a thousand worker threads oversubscribing the cores, the
+          // wall clock inside these sections measures preemption, and the
+          // per-worker O(1) claim gated by bench_scale would drown in
+          // scheduler noise. The ScopedTimer still records the wall span
+          // for the trace.
+          common::ScopedCpuAccumulator dispatch_cpu(&ctrl_busy[g]);
+          obs::ScopedTimer dispatch_timer(track, obs::Category::kOther,
+                                          "ctrl_dispatch");
+          dispatch_timer.SetArg("round", static_cast<double>(round));
+          const auto delta = directory.BeginRound(round);
+          for (const net::Rank r : delta.leaving) {
+            // Clean elastic departure: a personal exit Go (meta[1]==2
+            // distinguishes it from session end) plus an exit step token.
+            readiness.Clear(index_of(r));
+            net::Message bye_go;
+            bye_go.tag = tags::kGo;
+            bye_go.meta = {-1, 2};
+            fabric.Send(self, r, std::move(bye_go));
+            net::Message bye_step;
+            bye_step.tag = tags::kStep;
+            bye_step.meta = {-1};
+            fabric.Send(self, r, std::move(bye_step));
+            ctrl_msgs[g] += 2;
+            obs::CountMetric("elastic.leaves");
+          }
+          members = directory.ActiveMembers();
+          joiners = directory.SyncingMembers();
+        }
         if (members.empty()) break;
         policy->BeginRound(group_size, rng);
 
         if (lockstep) {
-          for (net::Rank m : members) {
-            net::Message step;
-            step.tag = tags::kStep;
-            step.meta = {static_cast<std::int64_t>(round)};
-            fabric.Send(self, m, std::move(step));
+          {
+            common::ScopedCpuAccumulator token_cpu(&ctrl_busy[g]);
+            obs::ScopedTimer token_timer(track, obs::Category::kOther,
+                                         "ctrl_tokens");
+            for (net::Rank m : members) {
+              net::Message step;
+              step.tag = tags::kStep;
+              step.meta = {static_cast<std::int64_t>(round)};
+              fabric.Send(self, m, std::move(step));
+            }
+            ctrl_msgs[g] += members.size();
+            std::fill(responded.begin(), responded.end(), false);
           }
-          std::fill(responded.begin(), responded.end(), false);
           std::size_t got = 0;
           const int ack_tags[] = {tags::kReady, tags::kGoodbye};
           obs::ScopedTimer step_timer(track, obs::Category::kWait,
                                       "step_wait");
           step_timer.SetArg("round", static_cast<double>(round));
-          while (got < members.size() && !stop.load() &&
-                 !global_stop.load()) {
+          while (got < members.size() && !session_over()) {
             std::optional<net::Message> msg;
             if (faulty) {
               const common::Seconds left =
@@ -481,6 +680,10 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
                   self, ack_tags);
               if (!msg.has_value()) return;
             }
+            common::ScopedCpuAccumulator handle_cpu(&ctrl_busy[g]);
+            obs::ScopedTimer handle_timer(track, obs::Category::kOther,
+                                          "ctrl_handle");
+            ++ctrl_msgs[g];
             const std::size_t idx = index_of(msg->src);
             if (msg->tag == tags::kGoodbye) {
               note_goodbye(msg->src, round);
@@ -490,15 +693,15 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
               }
               continue;
             }
-            if (live[idx]) ++ready[idx];
+            if (directory.IsActive(msg->src)) readiness.Add(idx, 1);
             if (!responded[idx]) {
               responded[idx] = true;
               ++got;
             }
           }
           step_timer.Stop();
-          if (stop.load() || global_stop.load()) break;
-          members = live_members();
+          if (session_over()) break;
+          members = directory.ActiveMembers();  // goodbyes may shrink it
           if (members.empty()) break;
         } else {
           obs::ScopedTimer probe_timer(track, obs::Category::kWait,
@@ -507,8 +710,9 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
           common::Seconds election_start = 0.0;
           while (!stop.load() && !global_stop.load()) {
             while (auto note = fabric.TryRecv(self, tags::kReady)) {
-              const std::size_t idx = index_of(note->src);
-              if (live[idx]) ++ready[idx];
+              if (directory.IsActive(note->src)) {
+                readiness.Add(index_of(note->src), 1);
+              }
             }
             if (faulty) {
               while (auto bye = fabric.TryRecv(self, tags::kGoodbye)) {
@@ -516,7 +720,7 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
               }
               while (auto late = fabric.TryRecv(self, tags::kRoundEnd)) {
                 const std::size_t idx = index_of(late->src);
-                ready[idx] -= late->meta[1];
+                readiness.Add(idx, -late->meta[1]);
                 miss_count[idx] = 0;
                 const bool was_aborted =
                     late->meta.size() > 2 && late->meta[2] != 0;
@@ -525,17 +729,13 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
                       static_cast<std::size_t>(late->meta[1]));
                 }
               }
-              if (live_members().empty()) break;
+              if (directory.ActiveCount() == 0) break;
             }
-            if (policy->ShouldTrigger(ready)) break;
+            if (policy->ShouldTrigger(readiness)) break;
             if (faulty &&
                 probe_timer.Elapsed() - election_start >
                     config.fault.probe_timeout_s) {
-              bool any_ready = false;
-              for (std::size_t i = 0; i < group_size; ++i) {
-                if (live[i] && ready[i] > 0) any_ready = true;
-              }
-              if (any_ready) {
+              if (readiness.ReadyRanks() > 0) {
                 obs::CountMetric("fault.forced_triggers");
                 break;
               }
@@ -544,34 +744,54 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
               election_start = probe_timer.Elapsed();
             }
             auto note = fabric.RecvFor(self, tags::kReady, 0.002);
-            if (note.has_value()) {
-              const std::size_t idx = index_of(note->src);
-              if (live[idx]) ++ready[idx];
+            if (note.has_value() && directory.IsActive(note->src)) {
+              readiness.Add(index_of(note->src), 1);
             }
           }
           if (stop.load() || global_stop.load()) break;
-          members = live_members();
+          members = directory.ActiveMembers();
           if (members.empty()) break;
         }
 
         obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
         round_timer.SetArg("round", static_cast<double>(round));
-        for (net::Rank m : members) {
-          net::Message go;
-          go.tag = tags::kGo;
-          go.meta = {static_cast<std::int64_t>(round), 0};
+        {
+          common::ScopedCpuAccumulator go_cpu(&ctrl_busy[g]);
+          obs::ScopedTimer go_timer(track, obs::Category::kOther, "ctrl_go");
+          // [round, verdict=0, member count, members..., joiners...] — the
+          // group collective has no straggler-verdict feed, so meta[1]
+          // stays 0 here; see the flat engine for the verdict path.
+          std::vector<std::int64_t> meta = {
+              static_cast<std::int64_t>(round), 0,
+              static_cast<std::int64_t>(members.size())};
           for (net::Rank r : members) {
-            go.meta.push_back(static_cast<std::int64_t>(r));
+            meta.push_back(static_cast<std::int64_t>(r));
           }
-          fabric.Send(self, m, std::move(go));
+          for (net::Rank j : joiners) {
+            meta.push_back(static_cast<std::int64_t>(j));
+          }
+          for (net::Rank m : members) {
+            net::Message go;
+            go.tag = tags::kGo;
+            go.meta = meta;
+            fabric.Send(self, m, std::move(go));
+          }
+          for (net::Rank j : joiners) {
+            net::Message go;
+            go.tag = tags::kGo;
+            go.meta = meta;
+            fabric.Send(self, j, std::move(go));
+          }
+          ctrl_msgs[g] += members.size() + joiners.size();
         }
         const int want[] = {tags::kRoundEnd, tags::kReady, tags::kGoodbye};
         std::size_t contributors = 0;
         std::size_t reports = 0;
+        const std::size_t expected = members.size() + joiners.size();
         std::fill(responded.begin(), responded.end(), false);
         obs::ScopedTimer report_timer(track, obs::Category::kWait,
                                       "report_wait");
-        while (reports < members.size()) {
+        while (reports < expected) {
           std::optional<net::Message> msg;
           if (faulty) {
             const common::Seconds left =
@@ -585,22 +805,29 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
             msg = fabric.RecvAny(self, want);  // analyze:allow(timed-recv)
             if (!msg.has_value()) return;
           }
+          common::ScopedCpuAccumulator handle_cpu(&ctrl_busy[g]);
+          obs::ScopedTimer handle_timer(track, obs::Category::kOther,
+                                        "ctrl_handle");
+          ++ctrl_msgs[g];
           const std::size_t idx = index_of(msg->src);
           if (msg->tag == tags::kReady) {
-            if (live[idx]) ++ready[idx];
+            if (directory.IsActive(msg->src)) readiness.Add(idx, 1);
             continue;
           }
           if (msg->tag == tags::kGoodbye) {
             note_goodbye(msg->src, round);
-            const bool is_member = std::find(members.begin(), members.end(),
-                                             msg->src) != members.end();
-            if (is_member && !responded[idx]) {
+            const bool counted =
+                std::find(members.begin(), members.end(), msg->src) !=
+                    members.end() ||
+                std::find(joiners.begin(), joiners.end(), msg->src) !=
+                    joiners.end();
+            if (counted && !responded[idx]) {
               responded[idx] = true;
               ++reports;
             }
             continue;
           }
-          ready[idx] -= msg->meta[1];
+          readiness.Add(idx, -msg->meta[1]);
           miss_count[idx] = 0;
           const bool aborted = msg->meta.size() > 2 && msg->meta[2] != 0;
           if (!aborted) {
@@ -611,18 +838,32 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
             responded[idx] = true;
             ++reports;
           }
+          if (directory.IsSyncing(msg->src)) {
+            // A joiner's sync ack: meta[3] == 1 means the state transfer
+            // landed and the rank becomes active next round; a zero flag
+            // keeps it syncing (the next Go re-lists it).
+            if (msg->meta.size() > 3 && msg->meta[3] != 0) {
+              directory.OnSynced(msg->src);
+              obs::CountMetric("elastic.joins");
+            }
+            continue;
+          }
           if (!aborted && msg->meta[1] > 0) ++contributors;
         }
         report_timer.Stop();
-        if (reports < members.size()) {
-          for (net::Rank m : members) {
+        if (reports < expected) {
+          auto strike = [&](net::Rank m) {
+            const MemberState s = directory.StateOf(m);
+            if (s == MemberState::kDead || s == MemberState::kLeft) return;
             const std::size_t idx = index_of(m);
-            if (responded[idx] || !live[idx]) continue;
+            if (responded[idx]) return;
             if (++miss_count[idx] >= config.fault.dead_after_misses) {
               note_goodbye(m, round);
               obs::CountMetric("fault.declared_dead");
             }
-          }
+          };
+          for (net::Rank m : members) strike(m);
+          for (net::Rank j : joiners) strike(j);
           obs::CountMetric("fault.report_deadline_misses");
         }
         round_timer.SetArg("contributors", static_cast<double>(contributors));
@@ -646,7 +887,11 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   for (auto& t : compute_threads) t.join();
   const common::Seconds wall_s = wall_timer.Stop();
   monitor.Finish();
-  server.Stop();
+  // Children before parents: an in-flight parent sync must still find its
+  // parent serving.
+  for (auto it = servers.rbegin(); it != servers.rend(); ++it) {
+    (*it)->Stop();
+  }
 
   TrainResult result;
   result.wall_seconds = wall_s;
@@ -660,17 +905,36 @@ TrainResult RunHierarchicalRna(const TrainerConfig& config,
   result.curve = monitor.Curve();
   result.round_contributors = std::move(round_contributors);
   result.live_workers = faults.LiveCount();
+  for (const auto& directory : directories) {
+    result.workers_joined += directory->JoinedTotal();
+    result.workers_left += directory->LeftTotal();
+  }
+  for (const common::Seconds busy : ctrl_busy) {
+    result.controller_busy_seconds += busy;
+  }
+  for (const std::size_t msgs : ctrl_msgs) {
+    result.controller_messages += msgs;
+  }
   result.breakdown.resize(world);
   for (std::size_t w = 0; w < world; ++w) {
     result.breakdown[w] = workers[w]->Times();
     result.breakdown[w].wait = comm_times[w].wait;
     result.breakdown[w].comm = comm_times[w].comm;
   }
+  // The lowest surviving active rank's replica is the result; a clean
+  // leaver's (or never-joined pending rank's) replica is frozen early.
   std::size_t reporter = 0;
-  for (std::size_t w = 0; w < world; ++w) {
+  bool found = false;
+  for (std::size_t w = 0; w < world && !found; ++w) {
+    if (directories[group_of[w]]->IsActive(w) && faults.Alive(w)) {
+      reporter = w;
+      found = true;
+    }
+  }
+  for (std::size_t w = 0; w < world && !found; ++w) {
     if (faults.Alive(w)) {
       reporter = w;
-      break;
+      found = true;
     }
   }
   result.final_params = final_params[reporter];

@@ -16,12 +16,12 @@ class ProbePolicy final : public train::TriggerPolicy {
                                            std::min(choices_, world));
   }
 
-  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
+  bool ShouldTrigger(const train::ReadinessBoard& ready) override {
     // The probe RPC is answered the moment the probed worker has a
     // gradient; the first answer triggers the round and expires the other
-    // probes (§3.2).
+    // probes (§3.2). Cost is O(choices), independent of the world size.
     for (std::size_t p : probes_) {
-      if (ready[p] > 0) return true;
+      if (ready.Count(p) > 0) return true;
     }
     return false;
   }

@@ -148,11 +148,8 @@ void Fabric::Send(Rank from, Rank to, Message msg) {
   RNA_CHECK(from < Size() && to < Size());
   msg.src = from;
   const std::size_t bytes = msg.ByteSize();
-  {
-    common::MutexLock lock(stats_mu_);
-    ++stats_[from].messages_sent;
-    stats_[from].bytes_sent += bytes;
-  }
+  stats_[from].messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_[from].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
   obs::CountMetric("fabric.messages");
   obs::CountMetric("fabric.bytes", static_cast<std::int64_t>(bytes));
   FaultDecision fault;
@@ -331,16 +328,17 @@ void Fabric::PublishWireMetrics() {
 
 TrafficStats Fabric::StatsFor(Rank rank) const {
   RNA_CHECK(rank < Size());
-  common::MutexLock lock(stats_mu_);
-  return stats_[rank];
+  TrafficStats out;
+  out.messages_sent = stats_[rank].messages_sent.load(std::memory_order_relaxed);
+  out.bytes_sent = stats_[rank].bytes_sent.load(std::memory_order_relaxed);
+  return out;
 }
 
 TrafficStats Fabric::TotalStats() const {
-  common::MutexLock lock(stats_mu_);
   TrafficStats total;
   for (const auto& s : stats_) {
-    total.messages_sent += s.messages_sent;
-    total.bytes_sent += s.bytes_sent;
+    total.messages_sent += s.messages_sent.load(std::memory_order_relaxed);
+    total.bytes_sent += s.bytes_sent.load(std::memory_order_relaxed);
   }
   return total;
 }

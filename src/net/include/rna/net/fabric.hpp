@@ -187,8 +187,15 @@ class Fabric {
   // lock-free by Send afterwards.
   std::shared_ptr<FaultPlan> fault_plan_;
 
-  mutable common::Mutex stats_mu_;
-  std::vector<TrafficStats> stats_ RNA_GUARDED_BY(stats_mu_);
+  // Per-endpoint traffic counters, one cache-padded slot per sender.
+  // Relaxed atomics keep Send lock-free: a thousand concurrent senders
+  // must never serialize on a shared stats mutex (the contention showed
+  // up as per-worker controller cost growing with the world size).
+  struct alignas(64) TrafficCounters {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+  };
+  std::vector<TrafficCounters> stats_;
 
   // Per-wire-format counters (index = wire::Format). Hot-path atomics with
   // shadow `published_` values so PublishWireMetrics() flushes idempotent

@@ -50,7 +50,20 @@ class ParameterServer {
 
   void Start();
   /// Stops the server thread (idempotent). The fabric must still be alive.
+  /// With ConfigureParent, stop children before their parent (reverse tree
+  /// id order) so an in-flight parent sync can still be answered.
   void Stop();
+
+  /// Makes this server an interior node of a PS tree: after every
+  /// `sync_every` applied payloads it PushPulls its whole state to the
+  /// same-shard server at `parent` (kAverage) and adopts the merged
+  /// result *before* replying, so a client always reads state that has
+  /// been folded toward the root. Call before Start(). `retry_budget` /
+  /// `retry_timeout_s` follow PsClient::ConfigureRetry semantics; on an
+  /// exhausted budget the sync is skipped (counted, state kept local).
+  void ConfigureParent(Rank parent, std::size_t sync_every,
+                       std::size_t retry_budget = 1,
+                       double retry_timeout_s = 0.05);
 
   Rank ServerRank() const { return rank_; }
   std::uint64_t RequestsServed() const { return requests_served_.load(); }
@@ -60,6 +73,7 @@ class ParameterServer {
 
  private:
   void ServeLoop();
+  void SyncWithParent();
 
   net::Fabric& fabric_;
   Rank rank_;
@@ -69,6 +83,14 @@ class ParameterServer {
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<bool> stop_{false};
   std::thread thread_;
+
+  // Parent-sync wiring (ServeLoop-thread only after Start()).
+  bool has_parent_ = false;
+  Rank parent_ = 0;
+  std::size_t parent_sync_every_ = 1;
+  std::size_t parent_retry_budget_ = 1;
+  double parent_retry_timeout_s_ = 0.05;
+  std::size_t applied_since_parent_sync_ = 0;
 };
 
 /// Client handle bound to one fabric endpoint.
@@ -97,6 +119,11 @@ class PsClient {
 
   /// Fetch the current server state.
   std::vector<float> Pull();
+
+  /// Like Pull, but returns std::nullopt when the retry budget is
+  /// exhausted (e.g., an elastic joiner fetching its first model over a
+  /// lossy fabric retries on the next token instead of dying).
+  std::optional<std::vector<float>> TryPull();
 
   /// Atomically fold `values` in and return the post-update state — the
   /// PSPushPull() of the paper's hierarchical synchronization.

@@ -92,19 +92,66 @@ void ParameterServer::ServeLoop() {
         }
         ++version_;
       }
-      if (want_reply) {
-        reply.meta = {version_};
-        // Pooled reply payload: push requests recycled below keep the
-        // freelist warm, so the pull-reply path stops allocating once the
-        // protocol reaches steady state.
-        reply.data = fabric_.Pool().Acquire(state_.size());
-        std::copy(state_.begin(), state_.end(), reply.data.begin());
-      }
     }
     fabric_.Pool().Recycle(std::move(req->data));
+    // Interior tree node: fold the updated state into the parent *before*
+    // replying, so the caller reads state already averaged toward the
+    // root and — under lockstep, where callers are gate-serialized — the
+    // whole tree's request order stays deterministic.
+    if (has_parent_ && has_payload &&
+        ++applied_since_parent_sync_ >= parent_sync_every_) {
+      applied_since_parent_sync_ = 0;
+      SyncWithParent();
+    }
+    if (want_reply) {
+      common::MutexLock lock(state_mu_);
+      reply.meta = {version_};
+      // Pooled reply payload: push requests recycled above keep the
+      // freelist warm, so the pull-reply path stops allocating once the
+      // protocol reaches steady state.
+      reply.data = fabric_.Pool().Acquire(state_.size());
+      std::copy(state_.begin(), state_.end(), reply.data.begin());
+    }
     requests_served_.fetch_add(1);
     if (want_reply) fabric_.Send(rank_, req->src, std::move(reply));
   }
+}
+
+void ParameterServer::ConfigureParent(Rank parent, std::size_t sync_every,
+                                      std::size_t retry_budget,
+                                      double retry_timeout_s) {
+  RNA_CHECK_MSG(!thread_.joinable(), "configure the parent before Start()");
+  RNA_CHECK_MSG(parent != rank_, "a PS node cannot be its own parent");
+  RNA_CHECK_MSG(sync_every >= 1, "parent sync period must be >= 1");
+  has_parent_ = true;
+  parent_ = parent;
+  parent_sync_every_ = sync_every;
+  parent_retry_budget_ = retry_budget == 0 ? 1 : retry_budget;
+  parent_retry_timeout_s_ = retry_timeout_s;
+}
+
+void ParameterServer::SyncWithParent() {
+  obs::CountMetric("ps.parent_syncs");
+  std::vector<float> snapshot;
+  {
+    common::MutexLock lock(state_mu_);
+    snapshot = state_;
+  }
+  // The server thread doubles as a PS client on its own endpoint: replies
+  // carry PsTags::kReply, which ServeLoop never consumes, so the two
+  // roles cannot steal each other's messages.
+  PsClient up(fabric_, rank_, parent_);
+  up.ConfigureRetry(parent_retry_budget_, parent_retry_timeout_s_);
+  auto merged = up.TryPushPull(snapshot, ApplyMode::kAverage);
+  if (!merged.has_value()) {
+    // Budget exhausted (lossy fabric) or shutdown: keep serving the local
+    // state; the next due sync folds it in.
+    obs::CountMetric("ps.parent_sync_skipped");
+    return;
+  }
+  common::MutexLock lock(state_mu_);
+  state_ = std::move(*merged);
+  ++version_;
 }
 
 void PsClient::ConfigureRetry(std::size_t budget, double first_timeout_s) {
@@ -173,6 +220,10 @@ void PsClient::Push(std::span<const float> values, ApplyMode mode) {
 
 std::vector<float> PsClient::Pull() {
   return Call({}, ApplyMode::kAssign, /*want_reply=*/true);
+}
+
+std::optional<std::vector<float>> PsClient::TryPull() {
+  return TryCall({}, ApplyMode::kAssign, /*want_reply=*/true);
 }
 
 std::vector<float> PsClient::PushPull(std::span<const float> values,

@@ -1,0 +1,106 @@
+#pragma once
+
+// Elastic-membership state machine, owned by a (group) controller.
+//
+//   kPending --BeginRound(join)--> kSyncing --OnSynced--> kActive
+//   kActive  --BeginRound(leave)-> kLeft
+//   any live state --OnDead-->     kDead
+//
+// A pending rank is scheduled to join later: its threads idle (no step
+// tokens, no Go membership). At its join round it becomes syncing — listed
+// in the Go's joiner tail so the round leader ships it params + optimizer
+// state — and on the synced acknowledgement it turns active and enters the
+// ring from the next round. A leave is a clean departure at the start of
+// the scheduled round: the rank gets a personal exit Go, is removed from
+// membership, and is *not* treated as a crash. Deaths (fault runtime) are
+// terminal from any live state.
+//
+// The directory is single-threaded (controller-owned); the epoch counter
+// bumps on every transition so tests can assert re-formation happened.
+
+#include <cstdint>
+#include <vector>
+
+#include "rna/net/fabric.hpp"
+#include "rna/train/config.hpp"
+
+namespace rna::train {
+
+enum class MemberState : int {
+  kPending,  ///< scheduled to join at a later round
+  kSyncing,  ///< joining: waiting for the leader's state transfer
+  kActive,   ///< full ring member
+  kLeft,     ///< departed cleanly (elastic leave)
+  kDead,     ///< fail-stop crash or declared dead
+};
+
+class MembershipDirectory {
+ public:
+  /// Manages `ranks` (a controller's workers, in ring order). Entries of
+  /// `schedule` for other ranks are ignored, so the flat engine and each
+  /// hierarchical group controller can share one TrainerConfig schedule.
+  MembershipDirectory(std::vector<net::Rank> ranks,
+                      const std::vector<ElasticSchedule>& schedule);
+
+  struct RoundDelta {
+    std::vector<net::Rank> joining;  ///< went kPending -> kSyncing
+    std::vector<net::Rank> leaving;  ///< went kActive  -> kLeft
+  };
+
+  /// Applies the schedule for `round`: pending ranks whose join round has
+  /// arrived start syncing; active ranks whose leave round has arrived
+  /// depart. Idempotent per round boundary (each transition fires once).
+  RoundDelta BeginRound(std::size_t round);
+
+  /// The joiner acknowledged the leader's state transfer: it is a full
+  /// member from the next round on.
+  void OnSynced(net::Rank rank);
+
+  /// Fail-stop: terminal from any live state.
+  void OnDead(net::Rank rank);
+
+  MemberState StateOf(net::Rank rank) const;
+  bool Manages(net::Rank rank) const;
+  bool IsActive(net::Rank rank) const {
+    return Manages(rank) && StateOf(rank) == MemberState::kActive;
+  }
+  bool IsSyncing(net::Rank rank) const {
+    return Manages(rank) && StateOf(rank) == MemberState::kSyncing;
+  }
+
+  /// Active members in ring order (the order `ranks` was given in).
+  std::vector<net::Rank> ActiveMembers() const;
+  /// Ranks currently waiting on a state transfer, in ring order.
+  std::vector<net::Rank> SyncingMembers() const;
+
+  std::size_t ActiveCount() const { return active_count_; }
+  std::size_t ManagedCount() const { return ranks_.size(); }
+
+  /// Bumped on every state transition; tests use it to assert the ring
+  /// actually re-formed.
+  std::uint64_t Epoch() const { return epoch_; }
+
+  std::size_t JoinedTotal() const { return joined_total_; }
+  std::size_t LeftTotal() const { return left_total_; }
+
+ private:
+  struct Entry {
+    net::Rank rank = 0;
+    MemberState state = MemberState::kActive;
+    std::size_t join_at = 0;
+    std::size_t leave_at = ElasticSchedule::kNever;
+  };
+
+  std::size_t IndexOf(net::Rank rank) const;
+  void Transition(Entry& e, MemberState to);
+
+  std::vector<net::Rank> ranks_;
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> index_of_rank_;  ///< rank -> entry index (or npos)
+  std::size_t active_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::size_t joined_total_ = 0;
+  std::size_t left_total_ = 0;
+};
+
+}  // namespace rna::train

@@ -50,6 +50,27 @@ struct TrainResult {
   /// unless fault injection crashed (or death-detection excluded) workers.
   std::size_t live_workers = 0;
 
+  /// Elastic membership: ranks that completed a mid-training join (state
+  /// sync acknowledged) and ranks that departed cleanly.
+  std::size_t workers_joined = 0;
+  std::size_t workers_left = 0;
+
+  /// Thread-CPU seconds the controller(s) spent doing per-round work
+  /// (token dispatch, Go construction, message handling, verdicts) —
+  /// waits excluded, and descheduled time excluded too, so the figure
+  /// means "work done" even when worker threads oversubscribe the cores.
+  /// bench_scale divides this by world × rounds to gate the per-worker
+  /// controller cost as worlds grow.
+  common::Seconds controller_busy_seconds = 0.0;
+
+  /// Messages the controller(s) sent or handled across the run (step
+  /// tokens, Go dispatches, acks, round reports, goodbyes). Deterministic
+  /// under lockstep, so bench_scale gates per-worker flatness on this
+  /// count — an O(world) dispatch regression (a controller messaging
+  /// beyond its group) shows up as growth per worker-round no matter how
+  /// noisy the machine's clock is.
+  std::size_t controller_messages = 0;
+
   /// Mean number of contributors per round.
   double MeanContributors() const {
     if (round_contributors.empty()) return 0.0;

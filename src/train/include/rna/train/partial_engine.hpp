@@ -26,6 +26,7 @@
 #include "rna/data/dataset.hpp"
 #include "rna/train/config.hpp"
 #include "rna/train/metrics.hpp"
+#include "rna/train/sharding.hpp"
 
 namespace rna::train {
 
@@ -38,9 +39,11 @@ class TriggerPolicy {
   /// Called once at the start of each round (e.g., to sample fresh probes).
   virtual void BeginRound(std::size_t world, common::Rng& rng) = 0;
 
-  /// `ready_counts[w]` = buffered-gradient count of worker w (as known from
-  /// notifications). Return true to trigger the collective now.
-  virtual bool ShouldTrigger(const std::vector<std::int64_t>& ready_counts) = 0;
+  /// `ready.Count(w)` = buffered-gradient count of worker w (as known from
+  /// notifications); `ready.ReadyRanks()` is the O(1) sharded aggregate, so
+  /// a policy decision never scans the world. Return true to trigger the
+  /// collective now.
+  virtual bool ShouldTrigger(const ReadinessBoard& ready) = 0;
 
   virtual const char* Name() const = 0;
 };

@@ -1,0 +1,106 @@
+#include "rna/train/membership.hpp"
+
+#include <algorithm>
+
+#include "rna/common/check.hpp"
+
+namespace rna::train {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+MembershipDirectory::MembershipDirectory(
+    std::vector<net::Rank> ranks,
+    const std::vector<ElasticSchedule>& schedule)
+    : ranks_(std::move(ranks)) {
+  net::Rank max_rank = 0;
+  for (const net::Rank r : ranks_) max_rank = std::max(max_rank, r);
+  index_of_rank_.assign(ranks_.empty() ? 0 : max_rank + 1, kNpos);
+  entries_.reserve(ranks_.size());
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    Entry e;
+    e.rank = ranks_[i];
+    for (const ElasticSchedule& s : schedule) {
+      if (s.rank == ranks_[i]) {
+        e.join_at = s.join_at_round;
+        e.leave_at = s.leave_at_round;
+      }
+    }
+    e.state = e.join_at == 0 ? MemberState::kActive : MemberState::kPending;
+    if (e.state == MemberState::kActive) ++active_count_;
+    index_of_rank_[ranks_[i]] = i;
+    entries_.push_back(e);
+  }
+}
+
+std::size_t MembershipDirectory::IndexOf(net::Rank rank) const {
+  RNA_CHECK_MSG(Manages(rank), "rank not managed by this directory");
+  return index_of_rank_[rank];
+}
+
+bool MembershipDirectory::Manages(net::Rank rank) const {
+  return rank < index_of_rank_.size() && index_of_rank_[rank] != kNpos;
+}
+
+void MembershipDirectory::Transition(Entry& e, MemberState to) {
+  if (e.state == to) return;
+  if (e.state == MemberState::kActive) --active_count_;
+  if (to == MemberState::kActive) ++active_count_;
+  e.state = to;
+  ++epoch_;
+}
+
+MembershipDirectory::RoundDelta MembershipDirectory::BeginRound(
+    std::size_t round) {
+  RoundDelta delta;
+  for (Entry& e : entries_) {
+    if (e.state == MemberState::kPending && round >= e.join_at) {
+      Transition(e, MemberState::kSyncing);
+      delta.joining.push_back(e.rank);
+    } else if (e.state == MemberState::kActive &&
+               e.leave_at != ElasticSchedule::kNever && round >= e.leave_at) {
+      Transition(e, MemberState::kLeft);
+      ++left_total_;
+      delta.leaving.push_back(e.rank);
+    }
+  }
+  return delta;
+}
+
+void MembershipDirectory::OnSynced(net::Rank rank) {
+  Entry& e = entries_[IndexOf(rank)];
+  if (e.state != MemberState::kSyncing) return;
+  Transition(e, MemberState::kActive);
+  ++joined_total_;
+}
+
+void MembershipDirectory::OnDead(net::Rank rank) {
+  if (!Manages(rank)) return;
+  Entry& e = entries_[IndexOf(rank)];
+  if (e.state == MemberState::kDead || e.state == MemberState::kLeft) return;
+  Transition(e, MemberState::kDead);
+}
+
+MemberState MembershipDirectory::StateOf(net::Rank rank) const {
+  return entries_[IndexOf(rank)].state;
+}
+
+std::vector<net::Rank> MembershipDirectory::ActiveMembers() const {
+  std::vector<net::Rank> members;
+  members.reserve(active_count_);
+  for (const Entry& e : entries_) {
+    if (e.state == MemberState::kActive) members.push_back(e.rank);
+  }
+  return members;
+}
+
+std::vector<net::Rank> MembershipDirectory::SyncingMembers() const {
+  std::vector<net::Rank> members;
+  for (const Entry& e : entries_) {
+    if (e.state == MemberState::kSyncing) members.push_back(e.rank);
+  }
+  return members;
+}
+
+}  // namespace rna::train

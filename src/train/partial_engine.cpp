@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <numeric>
+#include <span>
 #include <thread>
 
 #include "rna/collectives/allreduce.hpp"
@@ -12,6 +15,7 @@
 #include "rna/obs/metrics.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/train/fault.hpp"
+#include "rna/train/membership.hpp"
 #include "rna/train/monitor.hpp"
 #include "rna/train/stage.hpp"
 #include "rna/train/tags.hpp"
@@ -21,17 +25,17 @@ namespace rna::train {
 
 namespace {
 
+// All three built-in policies read the ReadinessBoard's O(1) sharded
+// aggregate instead of scanning a per-rank vector, so a trigger decision
+// costs the same at world=10 and world=1000.
+
 class MajorityPolicy final : public TriggerPolicy {
  public:
   void BeginRound(std::size_t world, common::Rng&) override {
     majority_ = world / 2 + 1;
   }
-  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
-    std::size_t have = 0;
-    for (auto c : ready) {
-      if (c > 0) ++have;
-    }
-    return have >= majority_;
+  bool ShouldTrigger(const ReadinessBoard& ready) override {
+    return ready.ReadyRanks() >= majority_;
   }
   const char* Name() const override { return "majority"; }
 
@@ -42,11 +46,8 @@ class MajorityPolicy final : public TriggerPolicy {
 class SoloPolicy final : public TriggerPolicy {
  public:
   void BeginRound(std::size_t, common::Rng&) override {}
-  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
-    for (auto c : ready) {
-      if (c > 0) return true;
-    }
-    return false;
+  bool ShouldTrigger(const ReadinessBoard& ready) override {
+    return ready.ReadyRanks() > 0;
   }
   const char* Name() const override { return "solo"; }
 };
@@ -54,11 +55,8 @@ class SoloPolicy final : public TriggerPolicy {
 class FullPolicy final : public TriggerPolicy {
  public:
   void BeginRound(std::size_t, common::Rng&) override {}
-  bool ShouldTrigger(const std::vector<std::int64_t>& ready) override {
-    for (auto c : ready) {
-      if (c <= 0) return false;
-    }
-    return true;
+  bool ShouldTrigger(const ReadinessBoard& ready) override {
+    return ready.ReadyRanks() == ready.Size();
   }
   const char* Name() const override { return "full"; }
 };
@@ -120,6 +118,14 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   // after controller_thread.join(), which orders those accesses (verified
   // under TSan by tests/test_race_stress.cpp).
   std::vector<std::size_t> round_contributors;
+  // Same single-writer discipline: the controller owns the membership
+  // directory and its busy-time accumulator; the main thread reads both
+  // after join().
+  std::vector<net::Rank> all_ranks(world);
+  std::iota(all_ranks.begin(), all_ranks.end(), net::Rank{0});
+  MembershipDirectory directory(all_ranks, config.elastic);
+  common::Seconds ctrl_busy = 0.0;
+  std::size_t ctrl_msgs = 0;
 
   EvalMonitor monitor(config, factory, val_data);
   monitor.Start(board, stop, rounds_done);
@@ -154,6 +160,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
       collectives::ErrorFeedback feedback;
       feedback.EnsureSize(dim + 1);
       bool died = false;  // fail-stop exit, distinct from session end
+      bool left = false;  // clean elastic departure, also not session end
       for (;;) {
         std::optional<net::Message> go;
         {
@@ -177,7 +184,13 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           died = faulty && !faults.Alive(w);  // killed from the compute side
           break;
         }
-        if (go->meta.empty() || go->meta[0] < 0) break;  // session over
+        if (go->meta.empty() || go->meta[0] < 0) {
+          // Session over — or, with meta[1]==2, a personal exit for this
+          // rank's scheduled elastic leave (the rest of the world keeps
+          // training).
+          left = go->meta.size() > 1 && go->meta[1] == 2;
+          break;
+        }
         const auto round = static_cast<std::size_t>(go->meta[0]);
 
         if (faults.ShouldCrashInRound(w, round)) {
@@ -199,16 +212,56 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           break;
         }
 
-        // Round membership travels in the Go (meta[2:]); absent (legacy
-        // shape) means everyone.
+        // Round membership travels in the Go: [round, verdict, member
+        // count, members..., joiners...]; a legacy two-entry shape means
+        // everyone. A rank in the joiner tail is not yet a ring member —
+        // it receives the round leader's state transfer instead.
         collectives::Group group;
+        std::vector<net::Rank> joiners;
         if (go->meta.size() > 2) {
-          for (std::size_t i = 2; i < go->meta.size(); ++i) {
-            group.members.push_back(
-                static_cast<net::Rank>(go->meta[i]));
+          const auto member_count = static_cast<std::size_t>(go->meta[2]);
+          for (std::size_t i = 3; i < go->meta.size(); ++i) {
+            const auto r = static_cast<net::Rank>(go->meta[i]);
+            if (i - 3 < member_count) {
+              group.members.push_back(r);
+            } else {
+              joiners.push_back(r);
+            }
           }
         } else {
           group = collectives::Group::Full(world);
+        }
+        if (std::find(joiners.begin(), joiners.end(), w) != joiners.end()) {
+          // Joining rank: install the leader's replica (params ‖ velocity,
+          // LR bit-cast into the meta) and acknowledge with a synced
+          // report, so the controller activates this rank next round with
+          // a state bitwise-identical to every member's.
+          std::optional<net::Message> state;
+          if (faulty) {
+            state = fabric.RecvFor(w, tags::JoinStateTag(round),
+                                   config.fault.collective_timeout_s);
+          } else {
+            state = fabric.Recv(  // analyze:allow(timed-recv)
+                w, tags::JoinStateTag(round));
+          }
+          bool synced = false;
+          if (state.has_value() && state->data.size() == 2 * dim &&
+              state->meta.size() > 1) {
+            std::copy(state->data.begin(), state->data.begin() + dim,
+                      params.begin());
+            optimizer.SetVelocity(
+                std::span<const float>(state->data.data() + dim, dim));
+            optimizer.SetLearningRate(std::bit_cast<double>(state->meta[1]));
+            fabric.Pool().Recycle(std::move(state->data));
+            synced = true;
+            obs::CountMetric("elastic.join_syncs");
+          }
+          net::Message report;
+          report.tag = tags::kRoundEnd;
+          // meta: [round, consumed=0, aborted=0, synced flag]
+          report.meta = {go->meta[0], 0, 0, synced ? 1 : 0};
+          fabric.Send(w, controller, std::move(report));
+          continue;
         }
         const auto member_it =
             std::find(group.members.begin(), group.members.end(), w);
@@ -311,6 +364,26 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
         if (my_index == 0) {
           board.Publish(params, static_cast<std::int64_t>(round) + 1);
         }
+        if (my_index == 0 && !joiners.empty()) {
+          // Round leader ships its post-step replica to each joining rank
+          // (every member holds an identical one, so the choice of sender
+          // does not matter): params ‖ velocity in the pooled payload, LR
+          // in the meta. Re-sent every round a joiner stays syncing, so a
+          // transfer lost to a fault is retried by the next leader.
+          const std::span<const float> velocity = optimizer.Velocity();
+          for (const net::Rank j : joiners) {
+            net::Message state;
+            state.tag = tags::JoinStateTag(round);
+            state.meta = {go->meta[0],
+                          std::bit_cast<std::int64_t>(
+                              optimizer.LearningRate())};
+            state.data = fabric.Pool().Acquire(2 * dim);
+            std::copy(params.begin(), params.end(), state.data.begin());
+            std::copy(velocity.begin(), velocity.end(),
+                      state.data.begin() + dim);
+            fabric.Send(w, j, std::move(state));
+          }
+        }
 
         net::Message report;
         report.tag = tags::kRoundEnd;
@@ -320,7 +393,9 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
                        reduced.ok ? 0 : 1};
         fabric.Send(w, controller, std::move(report));
       }
-      if (!died) global_stop.store(true);
+      // A leaver or a crash must not end the session; only the shared exit
+      // Go (or a fabric shutdown) does.
+      if (!died && !left) global_stop.store(true);
       final_params[w] = std::move(params);
     });
   }
@@ -400,8 +475,9 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     const obs::TrackHandle track = obs::RegisterTrack("controller");
     common::Rng rng(config.seed + 9001);
     std::unique_ptr<TriggerPolicy> policy = policy_factory();
-    std::vector<std::int64_t> ready(world, 0);
-    std::vector<bool> live(world, true);
+    // Sharded readiness aggregate: every policy decision and the forced-
+    // trigger scan read O(1) tallies instead of scanning the world.
+    ReadinessBoard readiness(world);
     std::vector<std::size_t> miss_count(world, 0);
     std::vector<bool> responded(world, false);
     // Consecutive rounds each rank reported without contributing a
@@ -411,18 +487,13 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     // (a one-round miss is noise; skipping already covers it).
     std::vector<std::size_t> skip_streak(world, 0);
 
-    auto live_members = [&] {
-      std::vector<net::Rank> members;
-      for (std::size_t i = 0; i < world; ++i) {
-        if (live[i]) members.push_back(i);
-      }
-      return members;
-    };
     auto note_goodbye = [&](net::Rank src, std::size_t round) {
-      if (!live[src]) return;
-      live[src] = false;
+      if (!directory.Manages(src)) return;
+      const MemberState was = directory.StateOf(src);
+      if (was == MemberState::kDead || was == MemberState::kLeft) return;
+      directory.OnDead(src);
       faults.Kill(src);
-      ready[src] = 0;
+      readiness.Clear(src);
       obs::CountMetric("fault.controller.deaths");
       // A (near-)instant fault span on the controller track marks the
       // exclusion on the timeline.
@@ -447,7 +518,39 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
 
     std::size_t round = 0;
     for (; round < config.max_rounds && !global_stop.load(); ++round) {
-      std::vector<net::Rank> members = live_members();
+      std::vector<net::Rank> members;
+      std::vector<net::Rank> joiners;
+      {
+        // Busy time is accounted in thread-CPU seconds, not wall time:
+        // with hundreds of worker threads oversubscribing the cores, the
+        // wall clock inside these sections measures preemption, and the
+        // per-worker O(1) claim gated by bench_scale would drown in
+        // scheduler noise. The ScopedTimer still records the wall span
+        // for the trace.
+        common::ScopedCpuAccumulator dispatch_cpu(&ctrl_busy);
+        obs::ScopedTimer dispatch_timer(track, obs::Category::kOther,
+                                        "ctrl_dispatch");
+        dispatch_timer.SetArg("round", static_cast<double>(round));
+        const auto delta = directory.BeginRound(round);
+        for (const net::Rank r : delta.leaving) {
+          // Clean elastic departure: a personal exit Go (meta[1]==2
+          // distinguishes it from session end) plus an exit step token.
+          // Not a death — no strike-out, no fault accounting.
+          readiness.Clear(r);
+          net::Message bye_go;
+          bye_go.tag = tags::kGo;
+          bye_go.meta = {-1, 2};
+          fabric.Send(controller, r, std::move(bye_go));
+          net::Message bye_step;
+          bye_step.tag = tags::kStep;
+          bye_step.meta = {-1};
+          fabric.Send(controller, r, std::move(bye_step));
+          ctrl_msgs += 2;
+          obs::CountMetric("elastic.leaves");
+        }
+        members = directory.ActiveMembers();
+        joiners = directory.SyncingMembers();
+      }
       if (members.empty()) break;
       policy->BeginRound(world, rng);
 
@@ -455,13 +558,21 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
         // Pace: one compute token per live rank, then account for every
         // token (kReady, kGoodbye, or — under faults — a deadline miss
         // from a hung worker, who stays a member and contributes null).
-        for (net::Rank m : members) {
-          net::Message step;
-          step.tag = tags::kStep;
-          step.meta = {static_cast<std::int64_t>(round)};
-          fabric.Send(controller, m, std::move(step));
+        // Syncing joiners get no token: their first batch waits for the
+        // state transfer.
+        {
+          common::ScopedCpuAccumulator token_cpu(&ctrl_busy);
+          obs::ScopedTimer token_timer(track, obs::Category::kOther,
+                                       "ctrl_tokens");
+          for (net::Rank m : members) {
+            net::Message step;
+            step.tag = tags::kStep;
+            step.meta = {static_cast<std::int64_t>(round)};
+            fabric.Send(controller, m, std::move(step));
+          }
+          ctrl_msgs += members.size();
+          std::fill(responded.begin(), responded.end(), false);
         }
-        std::fill(responded.begin(), responded.end(), false);
         std::size_t got = 0;
         const int ack_tags[] = {tags::kReady, tags::kGoodbye};
         obs::ScopedTimer step_timer(track, obs::Category::kWait, "step_wait");
@@ -481,6 +592,10 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
             if (!msg.has_value()) return;  // fabric shut down
           }
           const net::Rank src = msg->src;
+          common::ScopedCpuAccumulator handle_cpu(&ctrl_busy);
+          obs::ScopedTimer handle_timer(track, obs::Category::kOther,
+                                        "ctrl_handle");
+          ++ctrl_msgs;
           if (msg->tag == tags::kGoodbye) {
             note_goodbye(src, round);
             if (!responded[src]) {
@@ -489,7 +604,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
             }
             continue;
           }
-          if (live[src]) ++ready[src];
+          if (directory.IsActive(src)) readiness.Add(src, 1);
           if (!responded[src]) {
             responded[src] = true;
             ++got;
@@ -497,7 +612,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
         }
         step_timer.Stop();
         if (stop.load() || global_stop.load()) break;
-        members = live_members();  // goodbyes may have shrunk the round
+        members = directory.ActiveMembers();  // goodbyes may have shrunk it
         if (members.empty()) break;
       } else {
         obs::ScopedTimer probe_timer(track, obs::Category::kWait,
@@ -509,7 +624,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           // controller mailbox stays small even with very fast compute
           // threads.
           while (auto note = fabric.TryRecv(controller, tags::kReady)) {
-            if (live[note->src]) ++ready[note->src];
+            if (directory.IsActive(note->src)) readiness.Add(note->src, 1);
           }
           if (faulty) {
             while (auto bye = fabric.TryRecv(controller, tags::kGoodbye)) {
@@ -518,7 +633,7 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
             // A hung worker's late report from an earlier round: fold its
             // gradient accounting in, clear its death strikes.
             while (auto late = fabric.TryRecv(controller, tags::kRoundEnd)) {
-              ready[late->src] -= late->meta[1];
+              readiness.Add(late->src, -late->meta[1]);
               miss_count[late->src] = 0;
               const bool was_aborted =
                   late->meta.size() > 2 && late->meta[2] != 0;
@@ -527,17 +642,13 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
                     static_cast<std::size_t>(late->meta[1]));
               }
             }
-            if (live_members().empty()) break;
+            if (directory.ActiveCount() == 0) break;
           }
-          if (policy->ShouldTrigger(ready)) break;
+          if (policy->ShouldTrigger(readiness)) break;
           if (faulty &&
               probe_timer.Elapsed() - election_start >
                   config.fault.probe_timeout_s) {
-            bool any_ready = false;
-            for (std::size_t i = 0; i < world; ++i) {
-              if (live[i] && ready[i] > 0) any_ready = true;
-            }
-            if (any_ready) {
+            if (readiness.ReadyRanks() > 0) {
               // Probed-and-silent workers are treated as absent (the
               // paper's null-gradient rule): force the round with whoever
               // is ready rather than waiting on the dead.
@@ -550,21 +661,29 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
             election_start = probe_timer.Elapsed();
           }
           auto note = fabric.RecvFor(controller, tags::kReady, 0.002);
-          if (note.has_value() && live[note->src]) ++ready[note->src];
+          if (note.has_value() && directory.IsActive(note->src)) {
+            readiness.Add(note->src, 1);
+          }
         }
         if (stop.load() || global_stop.load()) break;
-        members = live_members();
+        members = directory.ActiveMembers();
         if (members.empty()) break;
       }
 
       obs::ScopedTimer round_timer(track, obs::Category::kRound, "round");
       round_timer.SetArg("round", static_cast<double>(round));
       {
+        common::ScopedCpuAccumulator go_cpu(&ctrl_busy);
+        obs::ScopedTimer go_timer(track, obs::Category::kOther, "ctrl_go");
         // Go carries the round's membership so every member builds the
         // same ring, plus the straggler verdict in meta[1]: rank+1 of the
         // live member with the longest ≥2-round non-contribution streak,
         // or 0 when there is none. Every member sees the same verdict, so
         // Schedule::kStragglar's permutation is identical ring-wide.
+        // meta[2] = member count M; meta[3..3+M) = the ring; any tail
+        // beyond M lists syncing joiners — the leader (members[0]) sends
+        // each one the model state after the collective, and the joiners
+        // themselves learn which round to expect that state on.
         std::int64_t verdict = 0;
         std::size_t best_streak = 1;
         for (net::Rank m : members) {
@@ -574,23 +693,39 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           }
         }
         if (verdict != 0) obs::CountMetric("round.straggler_verdicts");
+        net::Message proto;
+        proto.meta = {static_cast<std::int64_t>(round), verdict,
+                      static_cast<std::int64_t>(members.size())};
+        for (net::Rank r : members) {
+          proto.meta.push_back(static_cast<std::int64_t>(r));
+        }
+        for (net::Rank j : joiners) {
+          proto.meta.push_back(static_cast<std::int64_t>(j));
+        }
         for (net::Rank m : members) {
           net::Message go;
           go.tag = tags::kGo;
-          go.meta = {static_cast<std::int64_t>(round), verdict};
-          for (net::Rank r : members) {
-            go.meta.push_back(static_cast<std::int64_t>(r));
-          }
+          go.meta = proto.meta;
           fabric.Send(controller, m, std::move(go));
         }
+        for (net::Rank j : joiners) {
+          net::Message go;
+          go.tag = tags::kGo;
+          go.meta = proto.meta;
+          fabric.Send(controller, j, std::move(go));
+        }
+        ctrl_msgs += members.size() + joiners.size();
       }
       const int want[] = {tags::kRoundEnd, tags::kReady, tags::kGoodbye};
       std::size_t contributors = 0;
       std::size_t reports = 0;
+      // Members report after the collective; syncing joiners report after
+      // (attempting to) install the transferred state.
+      const std::size_t expected = members.size() + joiners.size();
       std::fill(responded.begin(), responded.end(), false);
       obs::ScopedTimer report_timer(track, obs::Category::kWait,
                                     "report_wait");
-      while (reports < members.size()) {
+      while (reports < expected) {
         std::optional<net::Message> msg;
         if (faulty) {
           const common::Seconds left = report_budget - report_timer.Elapsed();
@@ -605,22 +740,28 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           if (!msg.has_value()) return;  // fabric shut down
         }
         const net::Rank src = msg->src;
+        common::ScopedCpuAccumulator handle_cpu(&ctrl_busy);
+        obs::ScopedTimer handle_timer(track, obs::Category::kOther,
+                                      "ctrl_handle");
+        ++ctrl_msgs;
         if (msg->tag == tags::kReady) {
-          if (live[src]) ++ready[src];
+          if (directory.IsActive(src)) readiness.Add(src, 1);
           continue;
         }
         if (msg->tag == tags::kGoodbye) {
           note_goodbye(src, round);
-          const bool is_member =
-              std::find(members.begin(), members.end(), src) != members.end();
-          if (is_member && !responded[src]) {
+          const bool counted =
+              std::find(members.begin(), members.end(), src) !=
+                  members.end() ||
+              std::find(joiners.begin(), joiners.end(), src) != joiners.end();
+          if (counted && !responded[src]) {
             responded[src] = true;
             ++reports;
           }
           continue;
         }
         // kRoundEnd — possibly a late report of an earlier round.
-        ready[src] -= msg->meta[1];
+        readiness.Add(src, -msg->meta[1]);
         miss_count[src] = 0;
         const bool aborted = msg->meta.size() > 2 && msg->meta[2] != 0;
         if (!aborted) {
@@ -631,6 +772,17 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
           responded[src] = true;
           ++reports;
         }
+        if (directory.IsSyncing(src)) {
+          // A joiner's sync ack: meta[3] == 1 means the state transfer
+          // landed and the rank computes from the next round on. A zero
+          // flag (leader's send lost on a lossy fabric) keeps it syncing;
+          // the next round's Go re-lists it and the leader re-sends.
+          if (msg->meta.size() > 3 && msg->meta[3] != 0) {
+            directory.OnSynced(src);
+            obs::CountMetric("elastic.joins");
+          }
+          continue;
+        }
         if (!aborted && msg->meta[1] > 0) {
           ++contributors;
           skip_streak[src] = 0;
@@ -639,17 +791,21 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
         }
       }
       report_timer.Stop();
-      if (reports < members.size()) {
+      if (reports < expected) {
         // Deadline expired with silent members: report silence means the
         // comm thread is gone (fail-stop), unlike step silence which is
         // just slow compute. Strike them; dead_after_misses strikes kills.
-        for (net::Rank m : members) {
-          if (responded[m] || !live[m]) continue;
+        auto strike = [&](net::Rank m) {
+          const MemberState s = directory.StateOf(m);
+          if (s == MemberState::kDead || s == MemberState::kLeft) return;
+          if (responded[m]) return;
           if (++miss_count[m] >= config.fault.dead_after_misses) {
             note_goodbye(m, round);
             obs::CountMetric("fault.declared_dead");
           }
-        }
+        };
+        for (net::Rank m : members) strike(m);
+        for (net::Rank j : joiners) strike(j);
         obs::CountMetric("fault.report_deadline_misses");
       }
       round_timer.SetArg("contributors", static_cast<double>(contributors));
@@ -681,6 +837,10 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
   result.curve = monitor.Curve();
   result.round_contributors = std::move(round_contributors);
   result.live_workers = faults.LiveCount();
+  result.workers_joined = directory.JoinedTotal();
+  result.workers_left = directory.LeftTotal();
+  result.controller_busy_seconds = ctrl_busy;
+  result.controller_messages = ctrl_msgs;
 
   result.breakdown.resize(world);
   for (std::size_t w = 0; w < world; ++w) {
@@ -689,13 +849,21 @@ TrainResult RunPartialCollective(const TrainerConfig& config,
     result.breakdown[w].comm = comm_times[w].comm;
   }
 
-  // The lowest surviving rank's replica is the result (all survivors hold
-  // identical parameters after their last shared collective).
+  // The lowest surviving *active* rank's replica is the result (all active
+  // survivors hold identical parameters after their last shared
+  // collective; a clean leaver's replica is frozen at its exit round).
   std::size_t reporter = 0;
-  for (std::size_t w = 0; w < world; ++w) {
+  bool found = false;
+  for (std::size_t w = 0; w < world && !found; ++w) {
+    if (directory.IsActive(w) && faults.Alive(w)) {
+      reporter = w;
+      found = true;
+    }
+  }
+  for (std::size_t w = 0; w < world && !found; ++w) {
     if (faults.Alive(w)) {
       reporter = w;
-      break;
+      found = true;
     }
   }
   result.final_params = final_params[reporter];

@@ -1,0 +1,254 @@
+// Elastic-membership chaos scenarios: scheduled joins and leaves injected
+// mid-training, asserting the controller re-forms the ring without a
+// restart, a departing (even elected) rank never terminates the session,
+// joiners adopt the leader's replica before contributing, and churn storms
+// still converge — with oracle-exact contributor traces under lockstep.
+//
+// Scenario seeds fold in RNA_CHAOS_SEED exactly like test_chaos.cpp, so the
+// CI matrix replays every schedule across release and TSan presets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chaos_util.hpp"
+#include "rna/core/rna.hpp"
+#include "rna/sim/workload.hpp"
+#include "rna/train/config.hpp"
+#include "rna/train/membership.hpp"
+#include "rna/train/metrics.hpp"
+
+namespace rna::chaos {
+namespace {
+
+using train::ElasticSchedule;
+using train::MembershipDirectory;
+using train::Protocol;
+using train::TrainerConfig;
+using train::TrainResult;
+using train::WorkerFaultSchedule;
+
+// Shadow-model oracle: replay the elastic schedule through the same
+// MembershipDirectory state machine the controller owns. Under lockstep a
+// clean round's contributor count equals the active member count at the
+// round boundary (leaves applied, joiners still syncing), and a joiner that
+// receives the leader's state during round r is active from round r + 1.
+std::vector<std::size_t> ExpectedContributors(
+    std::size_t world, const std::vector<ElasticSchedule>& schedule,
+    std::size_t rounds) {
+  std::vector<net::Rank> ranks(world);
+  for (std::size_t r = 0; r < world; ++r) ranks[r] = r;
+  MembershipDirectory directory(ranks, schedule);
+  std::vector<std::size_t> expected(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    directory.BeginRound(round);
+    expected[round] = directory.ActiveCount();
+    for (const net::Rank j : directory.SyncingMembers()) {
+      directory.OnSynced(j);  // the lossless transfer lands the same round
+    }
+  }
+  return expected;
+}
+
+// A worker joins mid-training: pending until its scheduled round, syncing
+// (leader ships params + optimizer state) for exactly one round, then a
+// full ring member. The contributor trace is oracle-exact and the run
+// keeps converging with the grown ring.
+TEST(ChaosElastic, JoinMidTrainingGrowsTheRing) {
+  constexpr std::size_t kWorld = 5;
+  constexpr std::size_t kRounds = 10;
+  constexpr std::size_t kJoinRound = 3;
+  Scenario s = SmallScenario(31);
+  TrainerConfig c = ChaosConfig(Protocol::kRna, kWorld, kRounds);
+  c.lockstep = true;  // elastic schedules require the deterministic pacer
+  c.elastic.push_back({.rank = 4, .join_at_round = kJoinRound});
+
+  const TrainResult r = core::RunTraining(c, s.factory, s.train, s.val);
+
+  EXPECT_EQ(r.rounds, kRounds);
+  EXPECT_EQ(r.workers_joined, 1u);
+  EXPECT_EQ(r.workers_left, 0u);
+  EXPECT_EQ(r.live_workers, kWorld);
+  ASSERT_EQ(r.round_contributors.size(), kRounds);
+  const auto expected = ExpectedContributors(kWorld, c.elastic, kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // 4 members before and during the sync round, 5 from the next one.
+    EXPECT_EQ(r.round_contributors[round], expected[round])
+        << "round " << round;
+  }
+  EXPECT_EQ(r.round_contributors.back(), kWorld);
+  EXPECT_LT(r.final_loss, kChanceLoss);
+  for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// Regression lock — the departing rank is the one the election machinery
+// favors (rank 0: first probed, round leader, result reporter). Pre-elastic
+// code treated any worker exit as session end (global_stop), so the whole
+// run died with it. A scheduled leave must instead shrink the ring and let
+// every remaining round run to completion.
+TEST(ChaosElastic, LeaveElectedInitiatorDoesNotEndTheRun) {
+  constexpr std::size_t kWorld = 4;
+  constexpr std::size_t kRounds = 8;
+  constexpr std::size_t kLeaveRound = 4;
+  Scenario s = SmallScenario(32);
+  TrainerConfig c = ChaosConfig(Protocol::kRna, kWorld, kRounds);
+  c.lockstep = true;
+  c.elastic.push_back(
+      {.rank = 0, .join_at_round = 0, .leave_at_round = kLeaveRound});
+
+  const TrainResult r = core::RunTraining(c, s.factory, s.train, s.val);
+
+  EXPECT_EQ(r.rounds, kRounds) << "a leaver must never stop the session";
+  EXPECT_EQ(r.workers_left, 1u);
+  EXPECT_EQ(r.live_workers, kWorld);  // a leave is not a death
+  ASSERT_EQ(r.round_contributors.size(), kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const std::size_t expect = round < kLeaveRound ? kWorld : kWorld - 1;
+    EXPECT_EQ(r.round_contributors[round], expect) << "round " << round;
+  }
+  EXPECT_LT(r.final_loss, kChanceLoss);
+  for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// Churn storm: five joins and five leaves spread over twenty rounds — the
+// entire founding membership rotates out while the replacements rotate in.
+// The contributor trace must follow the shadow model exactly and the final
+// (fully replaced) ring must still have learned the task.
+TEST(ChaosElastic, ChurnStormFiveJoinsFiveLeaves) {
+  constexpr std::size_t kWorld = 10;
+  constexpr std::size_t kRounds = 20;
+  Scenario s = SmallScenario(33);
+  TrainerConfig c = ChaosConfig(Protocol::kRna, kWorld, kRounds);
+  c.lockstep = true;
+  // Founders {0..4}; ranks 5..9 join two rounds apart; founders then leave
+  // one round apart (rounds 12..16), churning membership to {5..9}.
+  for (std::size_t i = 0; i < 5; ++i) {
+    c.elastic.push_back({.rank = 5 + i, .join_at_round = 2 + 2 * i});
+    c.elastic.push_back(
+        {.rank = i, .join_at_round = 0, .leave_at_round = 12 + i});
+  }
+
+  const TrainResult r = core::RunTraining(c, s.factory, s.train, s.val);
+
+  EXPECT_EQ(r.rounds, kRounds);
+  EXPECT_EQ(r.workers_joined, 5u);
+  EXPECT_EQ(r.workers_left, 5u);
+  EXPECT_EQ(r.live_workers, kWorld);
+  ASSERT_EQ(r.round_contributors.size(), kRounds);
+  const auto expected = ExpectedContributors(kWorld, c.elastic, kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    EXPECT_EQ(r.round_contributors[round], expected[round])
+        << "round " << round;
+  }
+  EXPECT_LT(r.final_loss, kChanceLoss);
+  for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// Elasticity and fault tolerance composed: a rank joins, then a founding
+// member fail-stop crashes mid-round. The crash round aborts (broken ring),
+// every other round matches the shadow model with the dead rank removed.
+TEST(ChaosElastic, JoinThenCrashMidRound) {
+  constexpr std::size_t kWorld = 5;
+  constexpr std::size_t kRounds = 10;
+  constexpr std::size_t kJoinRound = 2;
+  constexpr std::size_t kCrashRound = 4;
+  Scenario s = SmallScenario(34);
+  TrainerConfig c = ChaosConfig(Protocol::kRna, kWorld, kRounds);
+  c.lockstep = true;
+  c.elastic.push_back({.rank = 4, .join_at_round = kJoinRound});
+  WorkerFaultSchedule w;
+  w.rank = 1;
+  w.crash_in_round = kCrashRound;
+  c.fault.workers.push_back(w);
+
+  const TrainResult r = core::RunTraining(c, s.factory, s.train, s.val);
+
+  EXPECT_EQ(r.rounds, kRounds);
+  EXPECT_EQ(r.workers_joined, 1u);
+  EXPECT_EQ(r.live_workers, kWorld - 1);
+  ASSERT_EQ(r.round_contributors.size(), kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // 4 founders; joiner syncs in round 2, contributes from round 3; the
+    // rank-1 crash aborts round 4 and removes it from every later ring.
+    const std::size_t expect = round < kJoinRound + 1 ? 4
+                               : round < kCrashRound  ? 5
+                               : round == kCrashRound ? 0
+                                                      : 4;
+    EXPECT_EQ(r.round_contributors[round], expect) << "round " << round;
+  }
+  EXPECT_LT(r.final_loss, kChanceLoss);
+  for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// Elastic membership inside the hierarchical engine: a join and a leave in
+// different speed groups, with the sharded PS tree underneath. Each group
+// controller owns its own directory; the recorded trace follows rank 0's
+// group, which gains its joiner on schedule.
+TEST(ChaosElastic, HierarchicalJoinAndLeave) {
+  constexpr std::size_t kWorld = 6;
+  constexpr std::size_t kRounds = 10;
+  constexpr std::size_t kJoinRound = 3;
+  constexpr std::size_t kLeaveRound = 5;
+  Scenario s = SmallScenario(35);
+  TrainerConfig c = ChaosConfig(Protocol::kRnaHierarchical, kWorld, kRounds);
+  c.lockstep = true;  // grouping from the delay model, not wall clock
+  c.calibration_iters = 2;
+  c.ps_sync_every = 2;
+  c.ps_shards = 2;
+  c.ps_fan_in = 2;
+  // Two clean tiers -> groups {0, 1, 2} fast and {3, 4, 5} slow.
+  c.delay_model = std::make_shared<sim::DeterministicSkewModel>(
+      0.0005, std::vector<common::Seconds>{0.0, 0.0, 0.0, 0.02, 0.02, 0.02});
+  c.delay_scale = 1.0;
+  c.elastic.push_back({.rank = 2, .join_at_round = kJoinRound});
+  c.elastic.push_back(
+      {.rank = 4, .join_at_round = 0, .leave_at_round = kLeaveRound});
+
+  const TrainResult r = core::RunTraining(c, s.factory, s.train, s.val);
+
+  EXPECT_EQ(r.rounds, kRounds);
+  EXPECT_EQ(r.workers_joined, 1u);  // summed across group directories
+  EXPECT_EQ(r.workers_left, 1u);
+  EXPECT_EQ(r.live_workers, kWorld);
+  // The trace follows rank 0's (fast) group: two founders, rank 2 syncing
+  // in its join round, three members afterwards; the slow group's leave
+  // never shows up here.
+  ASSERT_EQ(r.round_contributors.size(), kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const std::size_t expect = round <= kJoinRound ? 2 : 3;
+    EXPECT_EQ(r.round_contributors[round], expect) << "round " << round;
+  }
+  EXPECT_LT(r.final_loss, kChanceLoss);
+  for (float p : r.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// The acceptance property from the issue: a run whose membership churns
+// must converge to the same evaluation target as the fixed-membership run
+// it started from — elasticity costs rounds of contribution, not the model.
+TEST(ChaosElastic, ElasticConvergesToFixedMembershipTarget) {
+  constexpr std::size_t kRounds = 12;
+  Scenario s = SmallScenario(36);
+
+  TrainerConfig fixed = ChaosConfig(Protocol::kRna, 4, kRounds);
+  fixed.lockstep = true;
+  const TrainResult a = core::RunTraining(fixed, s.factory, s.train, s.val);
+
+  TrainerConfig elastic = ChaosConfig(Protocol::kRna, 5, kRounds);
+  elastic.lockstep = true;
+  elastic.elastic.push_back({.rank = 4, .join_at_round = 3});
+  elastic.elastic.push_back(
+      {.rank = 1, .join_at_round = 0, .leave_at_round = 7});
+  const TrainResult b = core::RunTraining(elastic, s.factory, s.train, s.val);
+
+  EXPECT_LT(a.final_loss, kChanceLoss);
+  EXPECT_LT(b.final_loss, kChanceLoss) << "churn must not break convergence";
+  EXPECT_EQ(b.workers_joined, 1u);
+  EXPECT_EQ(b.workers_left, 1u);
+  for (float p : b.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+}  // namespace
+}  // namespace rna::chaos

@@ -86,6 +86,8 @@ void ExpectIdenticalRunsWith(const TrainerConfig& config) {
   EXPECT_EQ(a.gradients_applied, b.gradients_applied);
   EXPECT_EQ(a.round_contributors, b.round_contributors);
   EXPECT_EQ(a.live_workers, b.live_workers);
+  EXPECT_EQ(a.workers_joined, b.workers_joined);
+  EXPECT_EQ(a.workers_left, b.workers_left);
 }
 
 void ExpectIdenticalRuns(Protocol protocol) {
@@ -147,6 +149,59 @@ INSTANTIATE_TEST_SUITE_P(
                           collectives::Compression::kInt8,
                           collectives::Compression::kTopK)),
     PolicyName);
+
+// Elastic membership must preserve the property: a scheduled join (with
+// its leader state transfer) and a scheduled leave land on deterministic
+// round boundaries, so two runs of the same churn schedule are bitwise
+// identical for every protocol that supports elasticity.
+TrainerConfig ElasticConfig(Protocol protocol) {
+  TrainerConfig c = LockstepConfig(protocol);
+  c.world = 4;
+  c.max_rounds = 8;
+  c.elastic.push_back({.rank = 3, .join_at_round = 2});
+  c.elastic.push_back({.rank = 1, .join_at_round = 0, .leave_at_round = 5});
+  return c;
+}
+
+TEST(ElasticDeterminism, Rna) {
+  ExpectIdenticalRunsWith(ElasticConfig(Protocol::kRna));
+}
+
+TEST(ElasticDeterminism, EagerSgd) {
+  ExpectIdenticalRunsWith(ElasticConfig(Protocol::kEagerSgd));
+}
+
+TEST(ElasticDeterminism, RnaHierarchicalWithShardedPsTree) {
+  TrainerConfig c = ElasticConfig(Protocol::kRnaHierarchical);
+  c.ps_shards = 3;
+  c.ps_fan_in = 2;
+  c.max_group_size = 2;  // force several groups even when speeds match
+  ExpectIdenticalRunsWith(c);
+}
+
+TEST(ElasticDeterminism, CentralizedPs) {
+  TrainerConfig c = ElasticConfig(Protocol::kCentralizedPs);
+  c.ps_shards = 2;
+  ExpectIdenticalRunsWith(c);
+}
+
+// Protocols without an elastic path must reject the schedule up front with
+// a deterministic diagnostic — not accept it and silently ignore it.
+TEST(ElasticDeterminism, UnsupportedProtocolsRejectSchedules) {
+  for (const Protocol p :
+       {Protocol::kHorovod, Protocol::kSgp, Protocol::kAdPsgd}) {
+    SCOPED_TRACE(ProtocolName(p));
+    const TrainerConfig c = ElasticConfig(p);
+    EXPECT_NE(c.Validate().find("cannot change membership mid-training"),
+              std::string::npos);
+  }
+}
+
+TEST(ElasticDeterminism, RejectedWithoutLockstep) {
+  TrainerConfig c = ElasticConfig(Protocol::kRna);
+  c.lockstep = false;
+  EXPECT_NE(c.Validate().find("requires lockstep"), std::string::npos);
+}
 
 TEST(LockstepDeterminism, DifferentSeedsActuallyDiverge) {
   // Sanity check that the property above is not vacuous (e.g. a runner

@@ -14,6 +14,16 @@ std::size_t NumGroups(const std::vector<std::size_t>& group_of) {
   return std::set<std::size_t>(group_of.begin(), group_of.end()).size();
 }
 
+// Policies consume the controller's sharded readiness aggregate; these
+// tests build one from a plain count vector.
+train::ReadinessBoard Board(const std::vector<std::int64_t>& counts) {
+  train::ReadinessBoard board(counts.size());
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    board.Add(r, counts[r]);
+  }
+  return board;
+}
+
 TEST(Grouping, HomogeneousStaysTogether) {
   // ζ = 0.02 ≤ v ≈ 0.11 → one group.
   const auto g = ComputeSpeedGroups({0.10, 0.11, 0.12, 0.10});
@@ -97,12 +107,11 @@ TEST(ProbePolicy, TriggersOnlyWhenProbedWorkerReady) {
   common::Rng rng(1);
   policy->BeginRound(4, rng);
   // Find the probed set by testing singleton readiness.
-  std::vector<std::int64_t> ready(4, 0);
   std::size_t probed = 0;
   for (std::size_t w = 0; w < 4; ++w) {
-    std::fill(ready.begin(), ready.end(), 0);
+    std::vector<std::int64_t> ready(4, 0);
     ready[w] = 1;
-    probed += policy->ShouldTrigger(ready) ? 1 : 0;
+    probed += policy->ShouldTrigger(Board(ready)) ? 1 : 0;
   }
   EXPECT_EQ(probed, 2u);  // exactly q workers can trigger
 }
@@ -112,7 +121,7 @@ TEST(ProbePolicy, NeverTriggersOnEmptyReadySet) {
   common::Rng rng(2);
   for (int round = 0; round < 20; ++round) {
     policy->BeginRound(8, rng);
-    EXPECT_FALSE(policy->ShouldTrigger(std::vector<std::int64_t>(8, 0)));
+    EXPECT_FALSE(policy->ShouldTrigger(Board(std::vector<std::int64_t>(8, 0))));
   }
 }
 
@@ -120,8 +129,7 @@ TEST(ProbePolicy, ChoicesCappedAtWorld) {
   auto policy = MakeProbePolicy(10);
   common::Rng rng(3);
   policy->BeginRound(2, rng);  // must not throw
-  std::vector<std::int64_t> ready = {1, 0};
-  EXPECT_TRUE(policy->ShouldTrigger(ready));
+  EXPECT_TRUE(policy->ShouldTrigger(Board({1, 0})));
 }
 
 TEST(ProbePolicy, ResamplesEachRound) {
@@ -133,7 +141,7 @@ TEST(ProbePolicy, ResamplesEachRound) {
     for (std::size_t w = 0; w < 8; ++w) {
       std::vector<std::int64_t> ready(8, 0);
       ready[w] = 1;
-      if (policy->ShouldTrigger(ready)) chosen.insert(w);
+      if (policy->ShouldTrigger(Board(ready))) chosen.insert(w);
     }
   }
   EXPECT_GT(chosen.size(), 4u);  // randomized election rotates initiators
@@ -143,30 +151,24 @@ TEST(TriggerPolicies, MajorityRule) {
   auto policy = train::MakeMajorityPolicy();
   common::Rng rng(5);
   policy->BeginRound(5, rng);  // majority = 3
-  std::vector<std::int64_t> ready = {1, 1, 0, 0, 0};
-  EXPECT_FALSE(policy->ShouldTrigger(ready));
-  ready[2] = 2;
-  EXPECT_TRUE(policy->ShouldTrigger(ready));
+  EXPECT_FALSE(policy->ShouldTrigger(Board({1, 1, 0, 0, 0})));
+  EXPECT_TRUE(policy->ShouldTrigger(Board({1, 1, 2, 0, 0})));
 }
 
 TEST(TriggerPolicies, SoloRule) {
   auto policy = train::MakeSoloPolicy();
   common::Rng rng(6);
   policy->BeginRound(4, rng);
-  std::vector<std::int64_t> ready(4, 0);
-  EXPECT_FALSE(policy->ShouldTrigger(ready));
-  ready[3] = 1;
-  EXPECT_TRUE(policy->ShouldTrigger(ready));
+  EXPECT_FALSE(policy->ShouldTrigger(Board({0, 0, 0, 0})));
+  EXPECT_TRUE(policy->ShouldTrigger(Board({0, 0, 0, 1})));
 }
 
 TEST(TriggerPolicies, FullRule) {
   auto policy = train::MakeFullPolicy();
   common::Rng rng(7);
   policy->BeginRound(3, rng);
-  std::vector<std::int64_t> ready = {1, 1, 0};
-  EXPECT_FALSE(policy->ShouldTrigger(ready));
-  ready[2] = 1;
-  EXPECT_TRUE(policy->ShouldTrigger(ready));
+  EXPECT_FALSE(policy->ShouldTrigger(Board({1, 1, 0})));
+  EXPECT_TRUE(policy->ShouldTrigger(Board({1, 1, 1})));
 }
 
 }  // namespace

@@ -1,12 +1,16 @@
 // Tests for the ps-lite-style parameter server: apply modes, push/pull
-// round trips, versioning, concurrent clients, clean shutdown.
+// round trips, versioning, concurrent clients, clean shutdown — plus the
+// scale-out layer: range-sharded servers behind ShardedPsClient and
+// parent-folding in the recursive PS tree.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
 #include "rna/net/fabric.hpp"
 #include "rna/ps/server.hpp"
+#include "rna/ps/sharded.hpp"
 
 namespace rna::ps {
 namespace {
@@ -134,6 +138,163 @@ TEST(ParameterServer, RestartAfterStop) {
   server.Start();
   EXPECT_EQ(client.Pull(), (std::vector<float>{3.0f}));
   server.Stop();
+}
+
+// ------------------------------------------------------- sharded clients
+
+TEST(ShardedPs, ShardRangesPartitionEveryDim) {
+  for (const std::size_t dim : {1u, 5u, 64u, 999u}) {
+    for (std::size_t shards = 1; shards <= std::min<std::size_t>(dim, 8);
+         ++shards) {
+      std::size_t covered = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(ShardFirst(dim, shards, s), covered);
+        const std::size_t len = ShardLast(dim, shards, s) - covered;
+        EXPECT_GE(len, dim / shards);
+        EXPECT_LE(len, dim / shards + 1);
+        covered += len;
+      }
+      EXPECT_EQ(covered, dim);
+    }
+  }
+}
+
+// Helper: a bank of range-sharded servers over `init`, started on
+// endpoints [first, first + shards).
+std::vector<std::unique_ptr<ParameterServer>> StartShardBank(
+    net::Fabric& fabric, net::Rank first, const std::vector<float>& init,
+    std::size_t shards) {
+  std::vector<std::unique_ptr<ParameterServer>> servers;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::vector<float> slice(
+        init.begin() + static_cast<std::ptrdiff_t>(
+                           ShardFirst(init.size(), shards, s)),
+        init.begin() + static_cast<std::ptrdiff_t>(
+                           ShardLast(init.size(), shards, s)));
+    servers.push_back(std::make_unique<ParameterServer>(
+        fabric, first + s, std::move(slice)));
+    servers.back()->Start();
+  }
+  return servers;
+}
+
+TEST(ShardedPs, SingleShardMatchesPlainClientExactly) {
+  // S = 1 must stay byte-identical to PsClient on the wire: one server,
+  // two clients, interleaved writes observe each other.
+  net::Fabric fabric(3);
+  ParameterServer server(fabric, 2, {1.0f, 2.0f});
+  server.Start();
+  ShardedPsClient sharded(fabric, 0, 2, 1, 2);
+  PsClient plain(fabric, 1, 2);
+  sharded.Push(std::vector<float>{1.0f, 1.0f}, ApplyMode::kAddDelta);
+  EXPECT_EQ(plain.Pull(), (std::vector<float>{2.0f, 3.0f}));
+  plain.Push(std::vector<float>{0.0f, 0.0f}, ApplyMode::kAverage);
+  EXPECT_EQ(sharded.Pull(), (std::vector<float>{1.0f, 1.5f}));
+  server.Stop();
+}
+
+TEST(ShardedPs, MultiShardPushPullMatchesSinglePs) {
+  // Equivalence oracle: the same op sequence against a 4-shard bank and
+  // one full-dim server must produce identical states throughout.
+  constexpr std::size_t kDim = 10;  // 4 shards of sizes 3/3/2/2
+  constexpr std::size_t kShards = 4;
+  std::vector<float> init(kDim);
+  for (std::size_t i = 0; i < kDim; ++i) init[i] = static_cast<float>(i);
+
+  net::Fabric fabric(2 + kShards + 1);
+  auto bank = StartShardBank(fabric, 2, init, kShards);
+  ParameterServer reference(fabric, 2 + kShards, init);
+  reference.Start();
+  ShardedPsClient sharded(fabric, 0, 2, kShards, kDim);
+  PsClient plain(fabric, 1, 2 + kShards);
+
+  const ApplyMode modes[] = {ApplyMode::kAddDelta, ApplyMode::kAverage,
+                             ApplyMode::kAssign, ApplyMode::kAverage};
+  for (int op = 0; op < 4; ++op) {
+    std::vector<float> payload(kDim);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      payload[i] = static_cast<float>((op + 1) * 10 + i);
+    }
+    const auto a = sharded.PushPull(payload, modes[op]);
+    const auto b = plain.PushPull(payload, modes[op]);
+    ASSERT_EQ(a, b) << "op " << op;
+  }
+  EXPECT_EQ(sharded.Pull(), plain.Pull());
+  for (auto& s : bank) s->Stop();
+  reference.Stop();
+}
+
+TEST(ShardedPs, ConcurrentStripedClientsAllServed) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kShards = 3;
+  constexpr std::size_t kDim = 7;
+  net::Fabric fabric(kClients + kShards);
+  auto bank =
+      StartShardBank(fabric, kClients, std::vector<float>(kDim, 0.0f),
+                     kShards);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ShardedPsClient client(fabric, c, kClients, kShards, kDim);
+      for (int i = 0; i < 25; ++i) {
+        client.PushPull(std::vector<float>(kDim, 1.0f),
+                        ApplyMode::kAddDelta);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ShardedPsClient reader(fabric, 0, kClients, kShards, kDim);
+  EXPECT_EQ(reader.Pull(), std::vector<float>(kDim, 100.0f));
+  for (auto& s : bank) s->Stop();
+}
+
+// ---------------------------------------------------------- parent folds
+
+TEST(ShardedPs, ParentSyncFoldsChildIntoParent) {
+  // Two-node tree, one shard: the child averages its state into the root
+  // after every applied payload (sync_every = 1), so a client pushing to
+  // the child sees state that reflects the root's — cross-group averaging
+  // through the tree instead of a shared endpoint.
+  net::Fabric fabric(3);
+  ParameterServer root(fabric, 1, {0.0f});
+  root.Start();
+  ParameterServer child(fabric, 2, {0.0f});
+  child.ConfigureParent(1, /*sync_every=*/1);
+  child.Start();
+
+  PsClient client(fabric, 0, 2);
+  // Child applies 8 -> state 8; the parent sync runs before the reply, so
+  // the returned state is already root-averaged: (0+8)/2 = 4 at the root,
+  // child adopts 4.
+  const auto replied = client.PushPull(std::vector<float>{8.0f},
+                                       ApplyMode::kAssign);
+  EXPECT_EQ(replied, (std::vector<float>{4.0f}));
+  EXPECT_EQ(root.Snapshot(), (std::vector<float>{4.0f}));
+  EXPECT_EQ(child.Snapshot(), (std::vector<float>{4.0f}));
+  child.Stop();  // children before parents
+  root.Stop();
+}
+
+TEST(ShardedPs, ParentSyncHonorsSyncEvery) {
+  net::Fabric fabric(3);
+  ParameterServer root(fabric, 1, {0.0f});
+  root.Start();
+  ParameterServer child(fabric, 2, {0.0f});
+  child.ConfigureParent(1, /*sync_every=*/2);
+  child.Start();
+
+  PsClient client(fabric, 0, 2);
+  client.Push(std::vector<float>{6.0f}, ApplyMode::kAssign);
+  EXPECT_EQ(client.Pull(), (std::vector<float>{6.0f}));
+  EXPECT_EQ(root.Snapshot(), (std::vector<float>{0.0f}))
+      << "first applied payload must not sync yet";
+  // Second applied payload reaches the threshold: child (now 6) folds into
+  // the root: root = (0+6)/2 = 3, child adopts 3.
+  client.Push(std::vector<float>{6.0f}, ApplyMode::kAssign);
+  EXPECT_EQ(client.Pull(), (std::vector<float>{3.0f}));
+  EXPECT_EQ(root.Snapshot(), (std::vector<float>{3.0f}));
+  child.Stop();
+  root.Stop();
 }
 
 }  // namespace

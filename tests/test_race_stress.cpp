@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rna/common/queue.hpp"
+#include "rna/core/rna.hpp"
 #include "rna/data/generators.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/nn/network.hpp"
@@ -328,6 +329,75 @@ TEST(RaceStress, PartialEngineMaxInterleaving) {
     EXPECT_LE(contributors, config.world);
   }
   EXPECT_FALSE(result.final_params.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Two whole training worlds in one process. Every run owns its Fabric (and
+// that Fabric's BufferPool), its own observability accumulators, and its own
+// membership state, so two engines running concurrently must not perturb
+// each other at all. The probe is bitwise: a lockstep run is a pure function
+// of its config, so the run executed alongside a different, churning world
+// must equal the same run executed alone — any cross-fabric buffer reuse,
+// shared counter, or leaked membership would break the equality (and TSan
+// flags the race itself under the tsan preset).
+
+TEST(RaceStress, TwoConcurrentWorldsStayIsolated) {
+  data::Dataset all = data::MakeGaussianClusters(240, 6, 3, 0.4, 21);
+  auto [train_data, val_data] = all.SplitHoldout(0.25);
+  train::ModelFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<nn::MlpClassifier>(
+        std::vector<std::size_t>{6, 10, 3}, seed);
+  };
+
+  train::TrainerConfig probe;
+  probe.world = 3;
+  probe.batch_size = 8;
+  probe.max_rounds = 8;
+  probe.lockstep = true;
+  probe.target_loss = -1.0;
+  probe.patience = 1000000;
+  probe.seed = 51;
+  probe.model_seed = 52;
+
+  // The neighbor world churns: elastic join + leave, different seeds, and a
+  // sharded PS stack stressing its own fabric's buffer pool.
+  train::TrainerConfig noisy = probe;
+  noisy.protocol = train::Protocol::kCentralizedPs;
+  noisy.world = 4;
+  noisy.max_rounds = 20;
+  noisy.ps_shards = 3;
+  noisy.seed = 77;
+  noisy.model_seed = 78;
+  noisy.elastic.push_back({.rank = 3, .join_at_round = 2});
+  noisy.elastic.push_back({.rank = 1, .join_at_round = 0, .leave_at_round = 9});
+
+  const train::TrainResult solo = train::RunPartialCollective(
+      probe, factory, train_data, val_data, train::MakeMajorityPolicy);
+
+  train::TrainResult concurrent;
+  train::TrainResult neighbor;
+  std::thread probe_thread([&] {
+    concurrent = train::RunPartialCollective(
+        probe, factory, train_data, val_data, train::MakeMajorityPolicy);
+  });
+  std::thread noisy_thread([&] {
+    neighbor = core::RunTraining(noisy, factory, train_data, val_data);
+  });
+  probe_thread.join();
+  noisy_thread.join();
+
+  ASSERT_EQ(concurrent.final_params.size(), solo.final_params.size());
+  for (std::size_t i = 0; i < solo.final_params.size(); ++i) {
+    ASSERT_EQ(concurrent.final_params[i], solo.final_params[i])
+        << "param " << i << " perturbed by the neighboring world";
+  }
+  EXPECT_EQ(concurrent.rounds, solo.rounds);
+  EXPECT_EQ(concurrent.round_contributors, solo.round_contributors);
+  EXPECT_EQ(concurrent.gradients_applied, solo.gradients_applied);
+  // The neighbor's own run stayed healthy too.
+  EXPECT_EQ(neighbor.workers_joined, 1u);
+  EXPECT_EQ(neighbor.workers_left, 1u);
+  for (float p : neighbor.final_params) ASSERT_TRUE(std::isfinite(p));
 }
 
 // ---------------------------------------------------------------------------

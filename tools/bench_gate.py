@@ -42,6 +42,15 @@ ABSOLUTE_FLOORS = {
     **{f"train_{proto}_{comp}": {"reached_target": 1.0}
        for proto in ("horovod", "rna")
        for comp in ("none", "fp16", "int8", "topk")},
+    # The 1000-worker lockstep run and the elastic churn run (bench_scale)
+    # must actually finish every scheduled round, and the elastic run must
+    # complete its scheduled joins and leave.
+    "scale_w1000": {"completed": 1.0},
+    "scale_elastic_w100": {
+        "completed": 1.0,
+        "workers_joined": 2.0,
+        "workers_left": 1.0,
+    },
 }
 
 # Lower-is-better keys gated as current <= ceiling.
@@ -63,6 +72,12 @@ ABSOLUTE_CEILINGS = {
     "comp_fp16_w8_256k": {"wire_bytes_per_round": 7341376.0},
     "comp_int8_w8_256k": {"wire_bytes_per_round": 3671360.0},
     "comp_topk_w8_256k": {"wire_bytes_per_round": 1469888.0},
+    # Scale-out flatness (bench_scale): controller messages per worker per
+    # round at world=1000 relative to world=10. The count is a property of
+    # the dispatch protocol (not of the machine), so growth past 2x means a
+    # controller started doing per-world work per worker — the O(1) claim
+    # the sharded controller exists for.
+    "scale_w1000": {"controller_msgs_flatness_vs_w10": 2.0},
 }
 
 
@@ -144,6 +159,10 @@ BASE_SAMPLE = {
          "wire_bytes_per_round": 3671360.0},
         {"label": "train_rna_int8", "final_loss": 0.03,
          "reached_target": 1.0},
+        {"label": "scale_w1000", "completed": 1.0,
+         "controller_msgs_flatness_vs_w10": 1.2},
+        {"label": "scale_elastic_w100", "completed": 1.0,
+         "workers_joined": 2.0, "workers_left": 1.0},
     ],
 }
 
@@ -206,13 +225,30 @@ def self_test():
     # A lossy-compression run that misses its loss target fails outright.
     run(lambda c: c["rows"][4].__setitem__("reached_target", 0.0),
         expect_problems=True)
+    # Controller messages per worker-round growing past 2x of the world=10
+    # run means per-world dispatch crept into the controller.
+    run(lambda c: c["rows"][5].__setitem__(
+            "controller_msgs_flatness_vs_w10", 2.5),
+        expect_problems=True)
+    # Flatness below the ceiling passes: the ratio is exactly 1.0 under
+    # lockstep today, but the ceiling leaves room for protocol changes
+    # that legitimately add a bounded per-round message or two.
+    run(lambda c: c["rows"][5].__setitem__(
+            "controller_msgs_flatness_vs_w10", 1.4),
+        expect_problems=False)
+    # A 1000-worker run that stops short of its scheduled rounds fails.
+    run(lambda c: c["rows"][5].__setitem__("completed", 0.0),
+        expect_problems=True)
+    # An elastic run that loses a scheduled join fails its floor.
+    run(lambda c: c["rows"][6].__setitem__("workers_joined", 1.0),
+        expect_problems=True)
 
     if failures:
         print("bench_gate self-test FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("bench_gate self-test OK (12 cases)")
+    print("bench_gate self-test OK (16 cases)")
     return 0
 
 
