@@ -1,0 +1,230 @@
+// Streaming data plane benchmarks. Rows emitted to BENCH_data.json by
+// --json-out (the bench-smoke job gates them via tools/bench_gate.py):
+//
+//   stream_seq_uniform_sync       consumer throughput with prefetch off:
+//                                 every batch is assembled inline on the
+//                                 consumer thread (batches_per_s is
+//                                 relative-gated).
+//   stream_seq_uniform_prefetch   the same consumer work with a depth-4
+//   stream_seq_bucketed_prefetch  prefetch queue: assembly overlaps the
+//                                 consumer's compute, so throughput must
+//                                 not regress (batches_per_s gated);
+//                                 overlap_ratio_info reports the measured
+//                                 prefetch/sync ratio (informational —
+//                                 scheduler-dependent on a noisy box).
+//   shard_view_w1000              1000 strided views over one 3000-sample
+//                                 sequence dataset. sample_bytes_copied is
+//                                 ceiling-gated at 0: views must alias the
+//                                 dataset's tensors (pointer identity),
+//                                 never copy them. index_bytes is the
+//                                 entire per-worker footprint.
+//   shard_view_overflow_w1000     the world > Size() regression: overflow
+//                                 ranks fall back to the shared view
+//                                 (fallback_workers floor-gated) with
+//                                 still zero bytes copied.
+//   fig2_bucketing                per-batch total sequence length CV with
+//                                 uniform vs length-bucketed streaming.
+//                                 Bucketing concentrates long sequences
+//                                 into few batches, so the batch-to-batch
+//                                 spread widens — the Figure 2(b) load
+//                                 imbalance. The CV ratio is a pure
+//                                 function of the seeds (floor-gated 2.0).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "rna/common/clock.hpp"
+#include "rna/common/stats.hpp"
+#include "rna/data/batch_generator.hpp"
+#include "rna/data/generators.hpp"
+#include "rna/data/shard_view.hpp"
+
+using namespace rna;
+
+namespace {
+
+constexpr int kStreamBatches = 2000;
+
+// Batches are sized so assembly costs tens of microseconds (≈ 320 KB of
+// sample copies per batch): the regime where prefetch matters and where
+// the per-batch queue hand-off (~1-3 µs) is noise rather than signal.
+data::Dataset StreamDataset() {
+  const data::LengthModel lengths{.mean = 160, .stddev = 60, .min_len = 32,
+                                  .max_len = 400};
+  return data::MakeSequenceDataset(512, 32, 4, lengths, 0.05, 41);
+}
+
+/// Burns roughly `seconds` of wall time in a tight arithmetic loop — the
+/// stand-in for the consumer's per-batch compute (an actual model step).
+double BusyWork(double seconds) {
+  const common::Stopwatch watch;
+  double acc = 0.0;
+  while (watch.Elapsed() < seconds) {
+    for (int i = 1; i <= 64; ++i) acc += 1.0 / static_cast<double>(i * i);
+  }
+  return acc;
+}
+
+/// Mean per-batch assembly cost of a synchronous generator — used to size
+/// the consumer's emulated compute so assembly and compute are comparable
+/// (the regime where prefetch overlap actually matters).
+double MeanAssemblySeconds(const data::Dataset& ds) {
+  data::BatchGenerator gen(
+      data::ShardView::All(ds),
+      {.batch_size = 16, .seed = 42, .prefetch_depth = 0});
+  const common::Stopwatch watch;
+  for (int b = 0; b < 400; ++b) (void)gen.Next();
+  return watch.Elapsed() / 400.0;
+}
+
+void StreamRow(std::vector<benchutil::BenchRow>& rows, const std::string& label,
+               const data::Dataset& ds, data::SamplingMode mode,
+               std::size_t depth, double consume_s, double sync_batches_per_s) {
+  data::BatchGenerator gen(data::ShardView::All(ds),
+                           {.batch_size = 16,
+                            .seed = 42,
+                            .mode = mode,
+                            .prefetch_depth = depth});
+  double sink = 0.0;
+  const common::Stopwatch watch;
+  for (int b = 0; b < kStreamBatches; ++b) {
+    nn::Batch batch = gen.Next();
+    sink += BusyWork(consume_s) + static_cast<double>(batch.Size());
+  }
+  const double elapsed = watch.Elapsed();
+  benchutil::BenchRow row;
+  row.label = label;
+  row.values["batches_per_s"] = kStreamBatches / elapsed;
+  row.values["consume_us_per_batch"] = consume_s * 1e6;
+  if (sync_batches_per_s > 0.0) {
+    row.values["overlap_ratio_info"] =
+        row.values["batches_per_s"] / sync_batches_per_s;
+  }
+  if (sink == 12345.0) std::printf("#");  // keep the work observable
+  rows.push_back(row);
+}
+
+void StreamRows(std::vector<benchutil::BenchRow>& rows) {
+  const data::Dataset ds = StreamDataset();
+  const double consume_s = MeanAssemblySeconds(ds);
+  StreamRow(rows, "stream_seq_uniform_sync", ds, data::SamplingMode::kUniform,
+            /*depth=*/0, consume_s, 0.0);
+  const double sync_rate = rows.back().values["batches_per_s"];
+  StreamRow(rows, "stream_seq_uniform_prefetch", ds,
+            data::SamplingMode::kUniform, /*depth=*/4, consume_s, sync_rate);
+  StreamRow(rows, "stream_seq_bucketed_prefetch", ds,
+            data::SamplingMode::kLengthBucketed, /*depth=*/4, consume_s,
+            sync_rate);
+}
+
+/// Bytes of sample storage a view holds that are NOT aliases of the
+/// dataset's own tensors. The zero-copy contract says this is exactly 0.
+std::size_t SampleBytesCopied(const data::ShardView& view,
+                              const data::Dataset& ds) {
+  std::size_t copied = 0;
+  for (std::size_t i = 0; i < view.Size(); ++i) {
+    if (view.Sequence(i).Data() != ds.sequences[view.GlobalIndex(i)].Data()) {
+      copied += view.Sequence(i).Size() * sizeof(float);
+    }
+  }
+  return copied;
+}
+
+void ShardViewRow(std::vector<benchutil::BenchRow>& rows,
+                  const std::string& label, std::size_t samples,
+                  std::size_t world) {
+  const data::LengthModel lengths{.mean = 24, .stddev = 10, .min_len = 4,
+                                  .max_len = 80};
+  const data::Dataset ds =
+      data::MakeSequenceDataset(samples, 8, 4, lengths, 0.05, 43);
+  std::size_t copied = 0, index_bytes = 0, fallbacks = 0;
+  for (std::size_t r = 0; r < world; ++r) {
+    const data::ShardView view = data::ShardView::Strided(ds, r, world);
+    copied += SampleBytesCopied(view, ds);
+    index_bytes += view.IndexBytes();
+    fallbacks += view.SharedFallback();
+  }
+  benchutil::BenchRow row;
+  row.label = label;
+  row.values["sample_bytes_copied"] = static_cast<double>(copied);
+  row.values["index_bytes"] = static_cast<double>(index_bytes);
+  row.values["dataset_sample_bytes"] =
+      static_cast<double>(data::DatasetSampleBytes(ds));
+  row.values["fallback_workers"] = static_cast<double>(fallbacks);
+  rows.push_back(row);
+}
+
+/// CV of per-batch total sequence length over one generator stream — the
+/// deterministic proxy for Figure 2(b)'s batch-time spread (recurrent
+/// compute is ~linear in length, see bench_fig2_imbalance).
+double BatchLengthCv(const data::Dataset& ds, data::SamplingMode mode) {
+  data::BatchGenerator gen(data::ShardView::All(ds),
+                           {.batch_size = 16,
+                            .seed = 44,
+                            .mode = mode,
+                            .prefetch_depth = 0});
+  common::OnlineStats totals;
+  for (int b = 0; b < 500; ++b) {
+    double total = 0.0;
+    for (const auto& seq : gen.Next().sequences) {
+      total += static_cast<double>(seq.Rows());
+    }
+    totals.Add(total);
+  }
+  return totals.Stddev() / totals.Mean();
+}
+
+void Fig2BucketingRow(std::vector<benchutil::BenchRow>& rows) {
+  const data::LengthModel lengths = data::VideoLengths(/*scale=*/1.0);
+  const data::Dataset ds =
+      data::MakeSequenceDataset(1024, 4, 4, lengths, 0.05, 45);
+  const double cv_uniform = BatchLengthCv(ds, data::SamplingMode::kUniform);
+  const double cv_bucketed =
+      BatchLengthCv(ds, data::SamplingMode::kLengthBucketed);
+  benchutil::BenchRow row;
+  row.label = "fig2_bucketing";
+  row.values["batch_len_cv_uniform"] = cv_uniform;
+  row.values["batch_len_cv_bucketed"] = cv_bucketed;
+  row.values["cv_ratio_bucketed_vs_uniform"] = cv_bucketed / cv_uniform;
+  rows.push_back(row);
+}
+
+int Run(const std::string& json_out) {
+  std::vector<benchutil::BenchRow> rows;
+  StreamRows(rows);
+  ShardViewRow(rows, "shard_view_w1000", /*samples=*/3000, /*world=*/1000);
+  ShardViewRow(rows, "shard_view_overflow_w1000", /*samples=*/600,
+               /*world=*/1000);
+  Fig2BucketingRow(rows);
+  if (!json_out.empty()) {
+    benchutil::WriteBenchJson(json_out, "data", rows);
+  }
+  for (const auto& row : rows) {
+    std::printf("%-28s", row.label.c_str());
+    for (const auto& [key, value] : row.values) {
+      std::printf("  %s=%.6g", key.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(11);
+    } else {
+      std::fprintf(stderr, "usage: bench_data [--json-out PATH]\n");
+      return 2;
+    }
+  }
+  return Run(json_out);
+}

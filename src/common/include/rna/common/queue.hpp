@@ -19,15 +19,40 @@ template <typename T>
 class BlockingQueue {
  public:
   BlockingQueue() = default;
+
+  /// Bounded variant: Push blocks while the queue holds `capacity` items
+  /// (until a consumer pops or the queue is closed). capacity == 0 keeps
+  /// the unbounded behavior. The data plane's prefetch pipelines use this
+  /// as their back-pressure: a producer thread runs at most `capacity`
+  /// items ahead of its consumer.
+  explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
+
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  /// Pushes an item. Returns false (dropping the item) if the queue is
-  /// closed.
+  /// Pushes an item, blocking while a bounded queue is full. Returns false
+  /// (dropping the item) if the queue is (or becomes) closed.
   bool Push(T item) {
     {
       MutexLock lock(mu_);
+      while (capacity_ > 0 && items_.size() >= capacity_ && !closed_) {
+        not_full_.Wait(mu_);
+      }
       if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.NotifyOne();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false without enqueueing when the queue is
+  /// closed or a bounded queue is full.
+  bool TryPush(T item) {
+    {
+      MutexLock lock(mu_);
+      if (closed_ || (capacity_ > 0 && items_.size() >= capacity_)) {
+        return false;
+      }
       items_.push_back(std::move(item));
     }
     cv_.NotifyOne();
@@ -36,9 +61,14 @@ class BlockingQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    MutexLock lock(mu_);
-    while (items_.empty() && !closed_) cv_.Wait(mu_);
-    return PopLocked();
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) cv_.Wait(mu_);
+      item = PopLocked();
+    }
+    if (item.has_value()) not_full_.NotifyOne();
+    return item;
   }
 
   /// Like Pop but gives up after the timeout. Returns std::nullopt on
@@ -46,30 +76,40 @@ class BlockingQueue {
   template <typename Rep, typename Period>
   std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
     const auto deadline = SteadyClock::now() + timeout;
-    MutexLock lock(mu_);
-    while (items_.empty() && !closed_) {
-      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) {
+        if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+      }
+      item = PopLocked();  // nullopt if still empty after timeout/close
     }
-    return PopLocked();  // nullopt if still empty after timeout/close
+    if (item.has_value()) not_full_.NotifyOne();
+    return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    MutexLock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: pending items can still be popped, further pushes are
-  /// rejected, and blocked consumers wake up.
+  /// rejected, and blocked producers and consumers wake up.
   void Close() {
     {
       MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool Closed() const {
@@ -96,7 +136,9 @@ class BlockingQueue {
   }
 
   mutable Mutex mu_;
-  CondVar cv_;
+  CondVar cv_;        // signaled on push/close: items may be available
+  CondVar not_full_;  // signaled on pop/close: bounded producers may proceed
+  const std::size_t capacity_ = 0;  // 0 = unbounded
   std::deque<T> items_ RNA_GUARDED_BY(mu_);
   bool closed_ RNA_GUARDED_BY(mu_) = false;
 };

@@ -1,0 +1,86 @@
+#include "rna/data/batch_generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rna/common/check.hpp"
+
+namespace rna::data {
+
+BatchGenerator::BatchGenerator(ShardView view,
+                               const BatchGeneratorOptions& options)
+    : view_(std::move(view)),
+      options_(options),
+      rng_(options.seed),
+      queue_(options.prefetch_depth) {
+  RNA_CHECK_MSG(view_.Valid() && view_.Size() > 0,
+                "cannot generate batches from an empty view");
+  RNA_CHECK_MSG(options_.batch_size > 0, "batch size must be positive");
+  RNA_CHECK_MSG(options_.maxibatch > 0, "maxibatch window must be positive");
+  if (!view_.IsSequence()) options_.mode = SamplingMode::kUniform;
+}
+
+BatchGenerator::~BatchGenerator() { Stop(); }
+
+void BatchGenerator::Stop() {
+  queue_.Close();
+  if (producer_.joinable()) producer_.join();
+}
+
+void BatchGenerator::EnsureProducer() {
+  if (producer_started_) return;
+  producer_started_ = true;
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void BatchGenerator::ProducerLoop() {
+  while (true) {
+    nn::Batch batch = AssembleNext();
+    // Push blocks while `prefetch_depth` batches sit unconsumed; a false
+    // return means Stop() closed the queue.
+    if (!queue_.Push(std::move(batch))) return;
+  }
+}
+
+nn::Batch BatchGenerator::Next() {
+  if (options_.prefetch_depth == 0) {
+    sync_assemblies_.fetch_add(1, std::memory_order_relaxed);
+    return AssembleNext();
+  }
+  EnsureProducer();
+  std::optional<nn::Batch> batch = queue_.Pop();
+  RNA_CHECK_MSG(batch.has_value(), "BatchGenerator used after Stop()");
+  prefetched_pops_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(*batch);
+}
+
+void BatchGenerator::RefillWindow() {
+  // Draw one maxi-batch of uniform-with-replacement samples, sort by
+  // length (stable, so ties keep draw order and the stream stays a pure
+  // function of the seed), and cut into batch-sized index lists.
+  const std::size_t draws = options_.maxibatch * options_.batch_size;
+  std::vector<std::size_t> pool(draws);
+  for (auto& i : pool) i = rng_.UniformInt(view_.Size());
+  std::stable_sort(pool.begin(), pool.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return view_.SequenceLength(a) < view_.SequenceLength(b);
+                   });
+  for (std::size_t b = 0; b < options_.maxibatch; ++b) {
+    window_.emplace_back(pool.begin() + b * options_.batch_size,
+                         pool.begin() + (b + 1) * options_.batch_size);
+  }
+}
+
+nn::Batch BatchGenerator::AssembleNext() {
+  if (options_.mode == SamplingMode::kLengthBucketed) {
+    if (window_.empty()) RefillWindow();
+    std::vector<std::size_t> indices = std::move(window_.front());
+    window_.pop_front();
+    return view_.MakeBatch(indices);
+  }
+  std::vector<std::size_t> indices(options_.batch_size);
+  for (auto& i : indices) i = rng_.UniformInt(view_.Size());
+  return view_.MakeBatch(indices);
+}
+
+}  // namespace rna::data

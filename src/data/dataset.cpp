@@ -55,13 +55,24 @@ Dataset Dataset::Shard(std::size_t rank, std::size_t world) const {
   RNA_CHECK_MSG(world > 0 && rank < world, "invalid shard rank/world");
   std::vector<std::size_t> indices;
   for (std::size_t i = rank; i < Size(); i += world) indices.push_back(i);
+  if (indices.empty() && Size() > 0) {
+    // world > Size(): round-robin leaves this rank nothing, and an empty
+    // shard aborts every sampler downstream. Fall back to sharing all
+    // samples so overflow ranks train on the full dataset. (ShardView is
+    // the zero-copy way to get this; Shard keeps the owning-copy API.)
+    for (std::size_t i = 0; i < Size(); ++i) indices.push_back(i);
+  }
   return Select(indices);
 }
 
 std::pair<Dataset, Dataset> Dataset::SplitHoldout(double fraction) const {
   RNA_CHECK_MSG(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
-  const auto holdout =
+  RNA_CHECK_MSG(Size() >= 2, "need at least 2 samples to split");
+  auto holdout =
       static_cast<std::size_t>(static_cast<double>(Size()) * fraction);
+  // floor() yields 0 for small datasets (Size=10 at fraction=0.05), and an
+  // empty validation set crashes downstream eval; keep both sides >= 1.
+  holdout = std::clamp<std::size_t>(holdout, 1, Size() - 1);
   const std::size_t train_n = Size() - holdout;
   std::vector<std::size_t> train_idx(train_n), val_idx(holdout);
   for (std::size_t i = 0; i < train_n; ++i) train_idx[i] = i;
@@ -95,7 +106,10 @@ nn::Batch BatchSampler::Next() {
     const std::size_t span = n > batch_size_ ? n - batch_size_ + 1 : 1;
     const std::size_t start = rng_.UniformInt(span);
     for (std::size_t i = 0; i < batch_size_; ++i) {
-      indices[i] = by_length_[std::min(start + i, n - 1)];
+      // Wrap within the length-sorted order: clamping to n-1 would pad a
+      // batch_size > n batch with duplicates of the *longest* sequence
+      // (by_length_ is ascending), systematically inflating batch compute.
+      indices[i] = by_length_[(start + i) % n];
     }
   } else {
     for (auto& idx : indices) idx = rng_.UniformInt(dataset_->Size());

@@ -23,6 +23,10 @@ LengthModel LengthModel::Scaled(double factor) const {
 
 std::size_t LengthModel::Sample(common::Rng& rng) const {
   // Log-normal parameterized by the desired arithmetic mean and stddev.
+  // std::log(mean) below silently yields -inf/NaN lengths for a
+  // non-positive mean; reject the misconfiguration instead.
+  RNA_CHECK_MSG(mean > 0.0 && stddev >= 0.0,
+                "length model needs mean > 0 and stddev >= 0");
   const double ratio = stddev / mean;
   const double sigma2 = std::log(1.0 + ratio * ratio);
   const double mu = std::log(mean) - 0.5 * sigma2;

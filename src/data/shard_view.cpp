@@ -1,0 +1,96 @@
+#include "rna/data/shard_view.hpp"
+
+#include <numeric>
+
+#include "rna/common/check.hpp"
+
+namespace rna::data {
+
+ShardView ShardView::All(const Dataset& dataset) {
+  std::vector<std::size_t> indices(dataset.Size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  return ShardView(&dataset, std::move(indices), /*shared_fallback=*/false);
+}
+
+ShardView ShardView::Strided(const Dataset& dataset, std::size_t rank,
+                             std::size_t world) {
+  RNA_CHECK_MSG(world > 0 && rank < world, "invalid shard rank/world");
+  std::vector<std::size_t> indices;
+  indices.reserve(dataset.Size() / world + 1);
+  for (std::size_t i = rank; i < dataset.Size(); i += world) {
+    indices.push_back(i);
+  }
+  if (indices.empty() && dataset.Size() > 0) {
+    // world > Size(): round-robin leaves this rank nothing. Share every
+    // sample instead — overflow ranks train on the full dataset.
+    return ShardView(&dataset, All(dataset).indices_,
+                     /*shared_fallback=*/true);
+  }
+  return ShardView(&dataset, std::move(indices), /*shared_fallback=*/false);
+}
+
+const tensor::Tensor* ShardView::LongestSequence() const {
+  if (!IsSequence()) return nullptr;
+  const tensor::Tensor* longest = nullptr;
+  for (std::size_t i = 0; i < Size(); ++i) {
+    const tensor::Tensor& seq = Sequence(i);
+    if (longest == nullptr || seq.Rows() > longest->Rows()) longest = &seq;
+  }
+  return longest;
+}
+
+nn::Batch ShardView::MakeBatch(std::span<const std::size_t> local) const {
+  nn::Batch batch;
+  batch.labels.reserve(local.size());
+  if (IsSequence()) {
+    batch.sequences.reserve(local.size());
+    for (std::size_t i : local) {
+      RNA_CHECK(i < Size());
+      batch.sequences.push_back(Sequence(i));
+      batch.labels.push_back(Label(i));
+    }
+  } else {
+    const std::size_t dim = InputDim();
+    batch.inputs = tensor::Tensor({local.size(), dim});
+    for (std::size_t out = 0; out < local.size(); ++out) {
+      const std::size_t i = local[out];
+      RNA_CHECK(i < Size());
+      const float* src = data_->inputs.Data() + indices_[i] * dim;
+      std::copy(src, src + dim, batch.inputs.Data() + out * dim);
+      batch.labels.push_back(Label(i));
+    }
+  }
+  return batch;
+}
+
+nn::Batch ShardView::MakeBatchRange(std::size_t start,
+                                    std::size_t count) const {
+  RNA_CHECK(start + count <= Size());
+  nn::Batch batch;
+  batch.labels.reserve(count);
+  if (IsSequence()) {
+    batch.sequences.reserve(count);
+    for (std::size_t i = start; i < start + count; ++i) {
+      batch.sequences.push_back(Sequence(i));
+      batch.labels.push_back(Label(i));
+    }
+  } else {
+    const std::size_t dim = InputDim();
+    batch.inputs = tensor::Tensor({count, dim});
+    for (std::size_t out = 0; out < count; ++out) {
+      const float* src = data_->inputs.Data() + indices_[start + out] * dim;
+      std::copy(src, src + dim, batch.inputs.Data() + out * dim);
+      batch.labels.push_back(Label(start + out));
+    }
+  }
+  return batch;
+}
+
+std::size_t DatasetSampleBytes(const Dataset& dataset) {
+  if (!dataset.IsSequence()) return dataset.inputs.Size() * sizeof(float);
+  std::size_t bytes = 0;
+  for (const auto& seq : dataset.sequences) bytes += seq.Size() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace rna::data

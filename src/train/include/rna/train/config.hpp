@@ -170,6 +170,13 @@ struct TrainerConfig {
   /// Sequence workloads use kLengthBucketed to reproduce the paper's
   /// inherent load imbalance (per-batch compute ∝ sequence length).
   data::SamplingMode sampling = data::SamplingMode::kUniform;
+  /// Batch-prefetch depth per worker (data::BatchGenerator): each worker's
+  /// batches are pre-assembled on a background thread up to this many
+  /// batches ahead, so steady-state compute spans contain no batch
+  /// assembly. 0 assembles synchronously inside the step (the comparison
+  /// baseline / minimum-thread mode). The emitted batch stream is
+  /// identical for every depth, so this knob never perturbs determinism.
+  std::size_t prefetch_batches = 2;
   nn::SgdConfig sgd;
 
   /// Step learning-rate schedule (§7.2: "decays to 0.1× on epochs

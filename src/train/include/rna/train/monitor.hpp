@@ -15,6 +15,7 @@
 #include "rna/common/mutex.hpp"
 #include "rna/common/thread_annotations.hpp"
 #include "rna/data/dataset.hpp"
+#include "rna/data/shard_view.hpp"
 #include "rna/train/config.hpp"
 #include "rna/train/metrics.hpp"
 #include "rna/train/stage.hpp"
@@ -59,7 +60,9 @@ class EvalMonitor {
 
   TrainerConfig config_;
   std::unique_ptr<nn::Network> net_;
-  const data::Dataset* val_;
+  // Zero-copy view over the validation set; subsample and sliced evals
+  // batch through it instead of re-indexing the dataset per call.
+  data::ShardView val_;
   common::Rng rng_;
 
   const ParamBoard* board_ = nullptr;

@@ -1,10 +1,11 @@
 #pragma once
 
 // Per-worker training state shared by every protocol implementation: the
-// model replica, the data shard and sampler, the optimizer, and the
-// straggler-injection machinery (per-iteration sleeps drawn from a
-// sim::IterationTimeModel, the same technique the paper uses to emulate
-// heterogeneity on its physical cluster).
+// model replica, the zero-copy data shard view and its streaming batch
+// generator, the optimizer, and the straggler-injection machinery
+// (per-iteration sleeps drawn from a sim::IterationTimeModel, the same
+// technique the paper uses to emulate heterogeneity on its physical
+// cluster).
 
 #include <memory>
 #include <span>
@@ -12,7 +13,9 @@
 
 #include "rna/common/clock.hpp"
 #include "rna/common/rng.hpp"
+#include "rna/data/batch_generator.hpp"
 #include "rna/data/dataset.hpp"
+#include "rna/data/shard_view.hpp"
 #include "rna/nn/optimizer.hpp"
 #include "rna/obs/trace.hpp"
 #include "rna/train/config.hpp"
@@ -30,6 +33,10 @@ class WorkerContext {
   nn::Network& Net() { return *net_; }
   nn::SgdMomentum& Optimizer() { return optimizer_; }
   WorkerTimeBreakdown& Times() { return times_; }
+  /// The worker's batch stream (tests assert steady-state steps consume
+  /// prefetched batches and that shard storage is shared, not copied).
+  const data::BatchGenerator& Generator() const { return generator_; }
+  const data::ShardView& Shard() const { return shard_; }
 
   /// Runs one mini-batch at `params`: sets the replica's parameters,
   /// computes loss/gradient, sleeps the injected per-iteration delay, and
@@ -62,8 +69,10 @@ class WorkerContext {
   std::size_t rank_;
   std::unique_ptr<nn::Network> net_;
   std::size_t dim_;
-  data::Dataset shard_;
-  data::BatchSampler sampler_;
+  // Zero-copy view into the run's shared dataset (no per-worker replica)
+  // and the streaming generator that pre-assembles its batches.
+  data::ShardView shard_;
+  data::BatchGenerator generator_;
   nn::SgdMomentum optimizer_;
   const sim::IterationTimeModel* delay_model_;
   double delay_scale_;

@@ -13,7 +13,7 @@ EvalMonitor::EvalMonitor(const TrainerConfig& config,
                          const data::Dataset& val_data)
     : config_(config),
       net_(factory(config.model_seed)),
-      val_(&val_data),
+      val_(data::ShardView::All(val_data)),
       rng_(config.seed + 5000) {}
 
 EvalMonitor::~EvalMonitor() { Finish(); }
@@ -54,10 +54,10 @@ bool EvalMonitor::WaitPeriod() {
 
 nn::BatchResult EvalMonitor::EvalSubsample(std::span<const float> params) {
   net_->SetParamsFrom(params);
-  const std::size_t n = std::min(config_.eval_samples, val_->Size());
+  const std::size_t n = std::min(config_.eval_samples, val_.Size());
   std::vector<std::size_t> indices(n);
-  for (auto& i : indices) i = rng_.UniformInt(val_->Size());
-  return net_->Evaluate(val_->MakeBatch(indices));
+  for (auto& i : indices) i = rng_.UniformInt(val_.Size());
+  return net_->Evaluate(val_.MakeBatch(indices));
 }
 
 nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
@@ -70,7 +70,9 @@ nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
     net.ComputeArena().Relax();
   }
   net.SetParamsFrom(params);
-  // Evaluate in slices to bound per-batch memory for sequence datasets.
+  // Evaluate in slices to bound per-batch memory for sequence datasets;
+  // slicing goes through a zero-copy view, no scratch index vector.
+  const data::ShardView view = data::ShardView::All(dataset);
   nn::BatchResult total;
   const std::size_t limit = max_samples > 0
                                 ? std::min(max_samples, dataset.Size())
@@ -79,9 +81,7 @@ nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
   double loss_weighted = 0.0;
   for (std::size_t start = 0; start < limit; start += slice) {
     const std::size_t end = std::min(start + slice, limit);
-    std::vector<std::size_t> indices(end - start);
-    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = start + i;
-    nn::BatchResult r = net.Evaluate(dataset.MakeBatch(indices));
+    nn::BatchResult r = net.Evaluate(view.MakeBatchRange(start, end - start));
     total.correct += r.correct;
     total.total += r.total;
     loss_weighted += r.loss * static_cast<double>(r.total);
@@ -92,7 +92,7 @@ nn::BatchResult EvaluateDataset(nn::Network& net, std::span<const float> params,
 }
 
 nn::BatchResult EvalMonitor::FullEval(std::span<const float> params) {
-  return EvaluateDataset(*net_, params, *val_);
+  return EvaluateDataset(*net_, params, val_.Owner());
 }
 
 void EvalMonitor::Loop() {

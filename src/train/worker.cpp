@@ -12,9 +12,14 @@ WorkerContext::WorkerContext(std::size_t rank, const TrainerConfig& config,
     : rank_(rank),
       net_(factory(config.model_seed)),
       dim_(net_->ParamCount()),
-      shard_(train_data.Shard(rank, config.world)),
-      sampler_(shard_, config.batch_size, config.seed + 1000 + 31 * rank,
-               config.sampling),
+      shard_(data::ShardView::Strided(train_data, rank, config.world)),
+      generator_(shard_,
+                 data::BatchGeneratorOptions{
+                     .batch_size = config.batch_size,
+                     .seed = config.seed + 1000 + 31 * rank,
+                     .mode = config.sampling,
+                     .prefetch_depth = config.prefetch_batches,
+                 }),
       optimizer_(dim_, config.sgd),
       delay_model_(config.delay_model.get()),
       delay_scale_(config.delay_scale),
@@ -37,17 +42,14 @@ void WorkerContext::PinArenaCapacity(std::span<const float> params) {
   // ReserveExact() pins it — steady-state steps then perform zero chunk
   // allocations, and any regression throws instead of silently growing.
   nn::Batch batch;
-  const std::size_t b = sampler_.BatchSize();
+  const std::size_t b = generator_.BatchSize();
   if (shard_.IsSequence()) {
-    const tensor::Tensor* longest = nullptr;
-    for (const auto& seq : shard_.sequences) {
-      if (longest == nullptr || seq.Rows() > longest->Rows()) longest = &seq;
-    }
+    const tensor::Tensor* longest = shard_.LongestSequence();
     if (longest == nullptr) return;
     batch.sequences.assign(b, *longest);
   } else {
-    if (shard_.inputs.Rows() == 0) return;
-    batch.inputs = tensor::Tensor({b, shard_.inputs.Cols()});
+    if (shard_.Size() == 0) return;
+    batch.inputs = tensor::Tensor({b, shard_.InputDim()});
     batch.inputs.Zero();
   }
   batch.labels.assign(b, 0);
@@ -69,11 +71,14 @@ nn::BatchResult WorkerContext::ComputeGradient(std::span<const float> params,
     track_ = obs::RegisterTrack(obs::WorkerTrack(rank_, "compute"));
     track_registered_ = true;
   }
+  // Take the batch *before* opening the compute span: steady-state batch
+  // assembly happens on the generator's prefetch thread, and whatever pop
+  // latency remains is hand-off, not compute.
+  nn::Batch batch = generator_.Next();
   obs::ScopedTimer timer(record_spans_ ? track_ : obs::TrackHandle{},
                          obs::Category::kCompute, "batch", &times_.compute);
   timer.SetArg("iter", static_cast<double>(times_.iterations));
   net_->SetParamsFrom(params);
-  nn::Batch batch = sampler_.Next();
   nn::BatchResult result = net_->ForwardBackward(batch);
   net_->CopyGradsTo(grad_out);
 

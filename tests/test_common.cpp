@@ -302,6 +302,44 @@ TEST(BlockingQueue, CrossThreadHandoff) {
   producer.join();
 }
 
+TEST(BlockingQueue, BoundedTryPushRefusesWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full, not closed
+  q.TryPop();
+  EXPECT_TRUE(q.TryPush(3));  // space again
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));  // closed
+}
+
+TEST(BlockingQueue, BoundedPushBlocksUntilPopped) {
+  BlockingQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    second_accepted.store(q.Push(2));  // blocks while item 1 sits unpopped
+  });
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_accepted.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedBoundedProducer) {
+  BlockingQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(q.Push(2));  // blocks on the full queue
+  });
+  q.Close();  // must wake the producer, which gives up
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_EQ(q.Pop(), 1);  // pending item still drains after close
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
 // The paper's benches accumulate per-thread OnlineStats and Merge them on
 // the main thread — the supported concurrent-use pattern. Verify the merge
 // of concurrently filled accumulators matches a single-threaded pass.

@@ -18,7 +18,9 @@
 
 #include "rna/common/queue.hpp"
 #include "rna/core/rna.hpp"
+#include "rna/data/batch_generator.hpp"
 #include "rna/data/generators.hpp"
+#include "rna/data/shard_view.hpp"
 #include "rna/net/fabric.hpp"
 #include "rna/nn/network.hpp"
 #include "rna/nn/optimizer.hpp"
@@ -115,6 +117,82 @@ TEST(RaceStress, QueueTimedPopsUnderChurn) {
   producer.join();
   for (auto& t : consumers) t.join();
   EXPECT_EQ(got.load(), kItems);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming batch generators. Many generators share one immutable dataset
+// through zero-copy shard views while each runs its own prefetch thread;
+// consumers pop concurrently from different threads. The conservation
+// invariant is per-generator determinism: every consumer must see exactly
+// the stream a synchronous same-seed generator produces, no matter how the
+// producer threads interleave on the shared storage. The final third of the
+// generators is destroyed while its producer is blocked mid-Push, stressing
+// the Stop()/Close() handshake under TSan.
+
+TEST(RaceStress, ConcurrentBatchGenerators) {
+  constexpr std::size_t kGenerators = 8;
+  constexpr int kBatches = 40;
+
+  data::LengthModel lengths{.mean = 12, .stddev = 6, .min_len = 2,
+                            .max_len = 40};
+  const data::Dataset ds =
+      data::MakeSequenceDataset(64, 4, 3, lengths, 0.1, 31);
+
+  // Reference streams from synchronous generators (no threads involved).
+  std::vector<std::vector<std::int32_t>> expected_labels(kGenerators);
+  for (std::size_t g = 0; g < kGenerators; ++g) {
+    data::BatchGeneratorOptions opt{
+        .batch_size = 4,
+        .seed = 100 + g,
+        .mode = g % 2 ? data::SamplingMode::kLengthBucketed
+                      : data::SamplingMode::kUniform,
+        .prefetch_depth = 0};
+    data::BatchGenerator gen(data::ShardView::Strided(ds, g, kGenerators),
+                             opt);
+    for (int b = 0; b < kBatches; ++b) {
+      for (std::int32_t label : gen.Next().labels) {
+        expected_labels[g].push_back(label);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<data::BatchGenerator>> generators;
+  for (std::size_t g = 0; g < kGenerators; ++g) {
+    data::BatchGeneratorOptions opt{
+        .batch_size = 4,
+        .seed = 100 + g,
+        .mode = g % 2 ? data::SamplingMode::kLengthBucketed
+                      : data::SamplingMode::kUniform,
+        .prefetch_depth = 2};
+    generators.push_back(std::make_unique<data::BatchGenerator>(
+        data::ShardView::Strided(ds, g, kGenerators), opt));
+  }
+
+  std::vector<std::vector<std::int32_t>> got_labels(kGenerators);
+  std::vector<std::thread> consumers;
+  for (std::size_t g = 0; g < kGenerators; ++g) {
+    consumers.emplace_back([&, g] {
+      // The last generators consume only part of their stream; destruction
+      // below then races their producers mid-assembly.
+      const int batches = g >= kGenerators - 3 ? kBatches / 4 : kBatches;
+      for (int b = 0; b < batches; ++b) {
+        for (std::int32_t label : generators[g]->Next().labels) {
+          got_labels[g].push_back(label);
+        }
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  generators.clear();  // Stop() joins every producer, blocked or not
+
+  for (std::size_t g = 0; g < kGenerators; ++g) {
+    ASSERT_EQ(got_labels[g],
+              std::vector<std::int32_t>(
+                  expected_labels[g].begin(),
+                  expected_labels[g].begin() +
+                      static_cast<std::ptrdiff_t>(got_labels[g].size())))
+        << "generator " << g << " diverged from its synchronous twin";
+  }
 }
 
 // ---------------------------------------------------------------------------

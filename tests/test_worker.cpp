@@ -249,6 +249,47 @@ TEST(EvaluateDataset, RelaxesPinnedTrainingReplica) {
   EXPECT_FALSE(worker.Net().ComputeArena().ExactMode());
 }
 
+TEST(WorkerContext, SteadyStateConsumesPrefetchedBatches) {
+  // The acceptance criterion for the streaming data plane: steady-state
+  // steps pop pre-assembled batches off the generator's queue instead of
+  // assembling inline on the compute path.
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 12);
+  TrainerConfig config = SmallConfig(1);
+  ASSERT_GT(config.prefetch_batches, 0u);
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  for (int i = 0; i < 6; ++i) worker.ComputeGradient(params, grad);
+  EXPECT_EQ(worker.Generator().PrefetchedPops(), 6u);
+  EXPECT_EQ(worker.Generator().SynchronousAssemblies(), 0u);
+}
+
+TEST(WorkerContext, SynchronousModeWhenPrefetchDisabled) {
+  data::Dataset ds = data::MakeGaussianClusters(64, 4, 2, 0.4, 13);
+  TrainerConfig config = SmallConfig(1);
+  config.prefetch_batches = 0;
+  WorkerContext worker(0, config, MlpFactory(), ds);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  for (int i = 0; i < 4; ++i) worker.ComputeGradient(params, grad);
+  EXPECT_EQ(worker.Generator().PrefetchedPops(), 0u);
+  EXPECT_EQ(worker.Generator().SynchronousAssemblies(), 4u);
+}
+
+TEST(WorkerContext, OverflowRankTrainsOnSharedShard) {
+  // Regression: world > dataset size used to hand overflow ranks an empty
+  // shard and abort in the sampler. They now train on the shared view.
+  data::Dataset ds = data::MakeGaussianClusters(10, 4, 2, 0.4, 14);
+  TrainerConfig config = SmallConfig(30);
+  WorkerContext worker(25, config, MlpFactory(), ds);
+  EXPECT_TRUE(worker.Shard().SharedFallback());
+  EXPECT_EQ(worker.Shard().Size(), 10u);
+  std::vector<float> params = InitialParams(config, MlpFactory());
+  std::vector<float> grad(worker.Dim());
+  const nn::BatchResult r = worker.ComputeGradient(params, grad);
+  EXPECT_EQ(r.total, config.batch_size);
+}
+
 TEST(Config, ProtocolNamesAreStable) {
   EXPECT_STREQ(ProtocolName(Protocol::kHorovod), "horovod");
   EXPECT_STREQ(ProtocolName(Protocol::kRna), "rna");

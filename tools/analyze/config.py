@@ -51,6 +51,15 @@ HEAP_BOUNDARY_PATTERNS = (
     # EnsureSize when the buffer is too small); the wire codec itself
     # stages through BufferPool.
     "rna::collectives::ErrorFeedback::EnsureSize",
+    # Streaming data plane: batch assembly allocates by design (each batch
+    # owns fresh label/tensor storage), but it runs on the generator's
+    # prefetch thread — off the compute hot path — and the consumer side
+    # only moves the pre-built batch out of the queue. The worker's
+    # one-shot arena warm-up batch is cold by the same pin-once contract
+    # as the Params/Grads caches above.
+    "rna::data::BatchGenerator::*",
+    "rna::data::ShardView::MakeBatch*",
+    "rna::train::WorkerContext::PinArenaCapacity",
 )
 
 # -- timed-recv --------------------------------------------------------------

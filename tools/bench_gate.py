@@ -51,6 +51,15 @@ ABSOLUTE_FLOORS = {
         "workers_joined": 2.0,
         "workers_left": 1.0,
     },
+    # Streaming data plane (bench_data): length-bucketed batching must keep
+    # widening the per-batch total-length spread vs uniform sampling — the
+    # Figure 2(b) load imbalance the paper's whole mitigation targets. The
+    # CV ratio is a pure function of the seeds, so it is machine-independent.
+    "fig2_bucketing": {"cv_ratio_bucketed_vs_uniform": 2.0},
+    # world > Size(): every overflow rank must fall back to the shared view
+    # (400 of the 1000 ranks in this configuration) instead of crashing or
+    # silently training on nothing.
+    "shard_view_overflow_w1000": {"fallback_workers": 400.0},
 }
 
 # Lower-is-better keys gated as current <= ceiling.
@@ -72,6 +81,11 @@ ABSOLUTE_CEILINGS = {
     "comp_fp16_w8_256k": {"wire_bytes_per_round": 7341376.0},
     "comp_int8_w8_256k": {"wire_bytes_per_round": 3671360.0},
     "comp_topk_w8_256k": {"wire_bytes_per_round": 1469888.0},
+    # Zero-copy sharding (bench_data): a shard view must alias the dataset's
+    # sample tensors, never copy them — at world=1000 a single copied view
+    # would replicate the dataset ×1000 (the bug this ceiling pins out).
+    "shard_view_w1000": {"sample_bytes_copied": 0.0},
+    "shard_view_overflow_w1000": {"sample_bytes_copied": 0.0},
     # Scale-out flatness (bench_scale): controller messages per worker per
     # round at world=1000 relative to world=10. The count is a property of
     # the dispatch protocol (not of the machine), so growth past 2x means a
@@ -163,6 +177,11 @@ BASE_SAMPLE = {
          "controller_msgs_flatness_vs_w10": 1.2},
         {"label": "scale_elastic_w100", "completed": 1.0,
          "workers_joined": 2.0, "workers_left": 1.0},
+        {"label": "shard_view_w1000", "sample_bytes_copied": 0.0,
+         "index_bytes": 32000.0},
+        {"label": "fig2_bucketing", "batch_len_cv_uniform": 0.14,
+         "batch_len_cv_bucketed": 0.49,
+         "cv_ratio_bucketed_vs_uniform": 3.6},
     ],
 }
 
@@ -242,13 +261,32 @@ def self_test():
     # An elastic run that loses a scheduled join fails its floor.
     run(lambda c: c["rows"][6].__setitem__("workers_joined", 1.0),
         expect_problems=True)
+    # A single byte of shard-sample copying at world=1000 breaks the
+    # zero-copy ceiling (one copied view replicates the dataset ×world).
+    run(lambda c: c["rows"][7].__setitem__("sample_bytes_copied", 768.0),
+        expect_problems=True)
+    # Index bytes are informational: per-worker bookkeeping may grow
+    # without tripping any gate.
+    run(lambda c: c["rows"][7].__setitem__("index_bytes", 64000.0),
+        expect_problems=False)
+    # Bucketed batching collapsing toward uniform's spread (ratio < 2)
+    # means batches stopped tracking the length distribution — the Fig. 2
+    # imbalance the data plane must reproduce.
+    run(lambda c: c["rows"][8].__setitem__(
+            "cv_ratio_bucketed_vs_uniform", 1.3),
+        expect_problems=True)
+    # The ratio floor is absolute, not baseline-relative: 2.5 passes even
+    # though it is >20% below the 3.6 baseline.
+    run(lambda c: c["rows"][8].__setitem__(
+            "cv_ratio_bucketed_vs_uniform", 2.5),
+        expect_problems=False)
 
     if failures:
         print("bench_gate self-test FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("bench_gate self-test OK (16 cases)")
+    print("bench_gate self-test OK (20 cases)")
     return 0
 
 
